@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark pushes the paper-vs-measured report it regenerates into
+the ``report_sink`` fixture; a ``pytest_terminal_summary`` hook prints all
+of them after the timing table (bypassing output capture), so a plain
+``pytest benchmarks/ --benchmark-only`` run doubles as the experiment log.
+The benches also *assert* the paper's qualitative conclusions, making the
+suite a second, coarser-grained verification layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a paper artifact")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered reports; printed in the terminal summary."""
+    return _REPORTS
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper artifacts regenerated", sep="=")
+    for report in _REPORTS:
+        terminalreporter.write_line(report)
+        terminalreporter.write_line("")
+    _REPORTS.clear()

@@ -1,0 +1,95 @@
+"""Benchmarks: ablation studies for the design choices in DESIGN.md."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    baseline_comparison,
+    cyclic_gain,
+    greedy_vs_exhaustive,
+    omega_quality,
+    packing_degree_ablation,
+    source_sensitivity,
+)
+from repro.experiments.common import format_table
+from repro.experiments.report import (
+    render_baselines,
+    render_cyclic_gain,
+    render_packing,
+)
+
+
+@pytest.mark.paper
+def test_bench_greedy_vs_exhaustive(benchmark, report_sink):
+    """Algorithm 2 + bisection vs brute force over all orders."""
+    worst = benchmark.pedantic(
+        greedy_vs_exhaustive,
+        kwargs={"trials": 25, "max_receivers": 7},
+        rounds=1,
+        iterations=1,
+    )
+    assert worst < 1e-8
+    report_sink.append(
+        "Ablation: dichotomic greedy vs exhaustive word search — worst "
+        f"relative error {worst:.2e} (expected: bisection precision)"
+    )
+
+
+@pytest.mark.paper
+def test_bench_packing_vs_lp(benchmark, report_sink):
+    rep = benchmark.pedantic(
+        packing_degree_ablation, kwargs={"size": 40}, rounds=1, iterations=1
+    )
+    assert rep.throughput_fifo == pytest.approx(rep.throughput_lp, rel=1e-6)
+    assert rep.max_excess_degree_fifo <= 3
+    report_sink.append(render_packing(rep))
+
+
+@pytest.mark.paper
+def test_bench_omega_quality(benchmark, report_sink):
+    rows = benchmark.pedantic(omega_quality, rounds=1, iterations=1)
+    for _, _, ratio in rows:
+        assert ratio > 0.9
+    report_sink.append(
+        "Ablation: best omega word / optimal acyclic throughput\n"
+        + format_table(["distribution", "n", "mean ratio"], rows)
+    )
+
+
+@pytest.mark.paper
+def test_bench_baselines(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        baseline_comparison, kwargs={"size": 30}, rounds=1, iterations=1
+    )
+    by_name = {r.name: r for r in rows}
+    paper = by_name["paper acyclic (Thm 4.1)"]
+    assert paper.fraction_of_optimal > 0.9
+    assert paper.throughput >= by_name["source star"].throughput - 1e-9
+    assert paper.throughput >= by_name["random tree"].throughput - 1e-9
+    report_sink.append(render_baselines(rows))
+
+
+@pytest.mark.paper
+def test_bench_cyclic_gain(benchmark, report_sink):
+    rows = benchmark.pedantic(cyclic_gain, rounds=1, iterations=1)
+    for r in rows:
+        assert 1.0 - 1e-9 <= r.gain <= 1.0 / (1.0 - 1.0 / r.n) + 1e-6
+    report_sink.append(render_cyclic_gain(rows))
+
+
+@pytest.mark.paper
+def test_bench_source_sensitivity(benchmark, report_sink):
+    """Why the Appendix XII protocol saturates the source (b0 = T*)."""
+    rows = benchmark.pedantic(
+        source_sensitivity, kwargs={"reps": 20}, rounds=1, iterations=1
+    )
+    starved = next(r for r in rows if r.source_factor < 1.0)
+    saturated = next(r for r in rows if r.source_factor == 1.0)
+    assert starved.min_ratio == pytest.approx(1.0, abs=1e-9)
+    assert saturated.min_ratio <= starved.min_ratio
+    report_sink.append(
+        "Source-saturation sensitivity (b0 = factor * fixed point)\n"
+        + format_table(
+            ["factor", "mean T*_ac/T*", "min T*_ac/T*"],
+            [[r.source_factor, r.mean_ratio, r.min_ratio] for r in rows],
+        )
+    )

@@ -1,0 +1,82 @@
+"""Performance benchmarks for the core algorithms (pytest-benchmark
+timings; these are the numbers to watch when optimizing).
+
+The paper stresses that "all proposed algorithms are very efficient in
+time complexity and can therefore be used in practice" — Algorithm 2 is
+linear-time per feasibility test and the dichotomic search adds a
+logarithmic factor.  These benches document that on 10k-node instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    acyclic_open_scheme,
+    cyclic_open_scheme,
+    greedy_test,
+    optimal_acyclic_throughput,
+    random_instance,
+    scheme_from_word,
+    scheme_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def big_mixed():
+    rng = np.random.default_rng(0)
+    return random_instance(rng, 10_000, 0.6, "PLab")
+
+
+@pytest.fixture(scope="module")
+def big_open():
+    rng = np.random.default_rng(1)
+    return random_instance(rng, 5_000, 1.0, "Unif100")
+
+
+def test_bench_greedy_single_test(benchmark, big_mixed):
+    """One Algorithm 2 feasibility test on 10k nodes (linear time)."""
+    t = big_mixed.source_bw * 0.9
+    res = benchmark(greedy_test, big_mixed, t)
+    assert res.feasible
+
+
+def test_bench_dichotomic_search(benchmark, big_mixed):
+    """Full T*_ac search on 10k nodes (~44 greedy tests)."""
+    t, word = benchmark(optimal_acyclic_throughput, big_mixed)
+    assert 0 < t <= big_mixed.source_bw
+    assert len(word) == big_mixed.num_receivers
+
+
+def test_bench_word_packing(benchmark, big_mixed):
+    """Lemma 4.6 FIFO packing of a 10k-node word."""
+    t, word = optimal_acyclic_throughput(big_mixed)
+    target = t * (1 - 1e-9)
+    scheme = benchmark(scheme_from_word, big_mixed, word, target)
+    assert scheme.num_edges >= big_mixed.num_receivers
+
+
+def test_bench_algorithm1(benchmark, big_open):
+    scheme = benchmark(acyclic_open_scheme, big_open)
+    assert scheme.num_edges >= big_open.n
+
+
+def test_bench_cyclic_construction(benchmark, big_open):
+    scheme = benchmark(cyclic_open_scheme, big_open)
+    assert scheme.num_edges >= big_open.n
+
+
+def test_bench_throughput_dag_shortcut(benchmark, big_mixed):
+    """O(E) in-rate throughput evaluation on a 10k-node scheme."""
+    t, word = optimal_acyclic_throughput(big_mixed)
+    scheme = scheme_from_word(big_mixed, word, t * (1 - 1e-9))
+    value = benchmark(scheme_throughput, scheme, big_mixed)
+    assert value == pytest.approx(t, rel=1e-6)
+
+
+def test_bench_throughput_maxflow(benchmark):
+    """Dinic-based throughput on a 300-node cyclic scheme."""
+    rng = np.random.default_rng(3)
+    inst = random_instance(rng, 300, 1.0, "Unif100")
+    scheme = cyclic_open_scheme(inst)
+    value = benchmark(scheme_throughput, scheme, inst, method="maxflow")
+    assert value > 0

@@ -1,0 +1,83 @@
+"""Benchmarks: the extension experiments (depth future-work, churn caveat)."""
+
+import pytest
+
+from repro.analysis import (
+    churn_experiment,
+    depth_ablation,
+    perturbation_experiment,
+)
+from repro.experiments.common import format_table
+
+
+@pytest.mark.paper
+def test_bench_depth_ablation(benchmark, report_sink):
+    """Depth/delay trade (the paper's 'minimize delays' open direction)."""
+    rows = benchmark.pedantic(depth_ablation, rounds=1, iterations=1)
+    by_key = {(r.size, r.rate_fraction): r for r in rows}
+    # rate back-off is the effective depth lever:
+    for size in {r.size for r in rows}:
+        assert (
+            by_key[(size, 0.75)].fifo_max_depth
+            < by_key[(size, 1.0)].fifo_max_depth
+        )
+    report_sink.append(
+        "Depth ablation (FIFO vs min-depth packing, by rate back-off)\n"
+        + format_table(
+            ["n", "rate frac", "fifo depth", "min-depth depth",
+             "fifo excess", "min-depth excess"],
+            [
+                [r.size, r.rate_fraction, r.fifo_max_depth,
+                 r.depth_aware_max_depth, r.fifo_max_excess,
+                 r.depth_aware_max_excess]
+                for r in rows
+            ],
+        )
+    )
+
+
+@pytest.mark.paper
+def test_bench_robustness(benchmark, report_sink):
+    """The conclusion's resilience claim: graceful degradation under
+    bandwidth perturbation (contrast with churn below)."""
+    reports = benchmark.pedantic(
+        perturbation_experiment, rounds=1, iterations=1
+    )
+    for rep in reports:
+        assert rep.worst_delivered >= rep.graceful_floor - 1e-9
+    report_sink.append(
+        "Bandwidth-perturbation robustness (Theorem 4.1 overlay, clipped "
+        "to perturbed capacities)\n"
+        + format_table(
+            ["eps", "planned", "mean delivered", "worst delivered",
+             "(1-eps) floor"],
+            [[r.eps, r.planned_rate, r.mean_delivered, r.worst_delivered,
+              r.graceful_floor] for r in reports],
+        )
+    )
+
+
+@pytest.mark.paper
+def test_bench_churn(benchmark, report_sink):
+    """The conclusion's churn caveat, quantified + static repair."""
+    rep = benchmark.pedantic(
+        churn_experiment, kwargs={"size": 40, "slots": 240},
+        rounds=1, iterations=1,
+    )
+    assert rep.healthy_min_goodput > 0.8 * rep.planned_rate
+    assert rep.churn_min_goodput < rep.healthy_min_goodput
+    assert rep.repair_ratio > 0.7
+    report_sink.append(
+        "Churn injection on the Theorem 4.1 overlay\n"
+        + format_table(
+            ["metric", "value"],
+            [
+                ["planned rate", rep.planned_rate],
+                ["healthy worst goodput", rep.healthy_min_goodput],
+                ["post-churn worst survivor goodput", rep.churn_min_goodput],
+                ["survivors starved (<50% rate)", rep.starved_nodes],
+                ["static-repair rate", rep.repaired_rate],
+                ["repair ratio", rep.repair_ratio],
+            ],
+        )
+    )

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 19 (average-case ratios on random
+instances, 6 distributions x open-probability x size).
+
+Paper conclusions asserted:
+
+* mean optimal-acyclic ratio stays >= ~0.9 everywhere ("at most 5%
+  decrease" at paper scale; reduced-scale runs get a little slack);
+* the balanced words omega1/omega2 are nearly as good as the optimum;
+* the single proof word lags on small instances and catches up with n.
+
+Reduced sweep by default; ``REPRO_FULL=1`` runs the paper's
+1000-instance, n=1000 grid.
+"""
+
+import pytest
+
+from repro.experiments.figure19 import Figure19Config, run_figure19
+from repro.experiments.report import render_figure19
+
+
+@pytest.mark.paper
+def test_bench_figure19(benchmark, report_sink):
+    config = Figure19Config.from_env()
+    result = benchmark.pedantic(
+        run_figure19, args=(config,), rounds=1, iterations=1
+    )
+    assert result.worst_mean_optimal_ratio() > 0.90
+    assert result.worst_mean_omega_gap() < 0.05
+    gaps = result.proof_word_gap_by_size()
+    sizes = sorted(gaps)
+    assert gaps[sizes[-1]] <= gaps[sizes[0]] + 0.01, (
+        "proof-word gap should shrink with instance size"
+    )
+    report_sink.append(render_figure19(result))

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 7 (worst-case ratio grid on tight
+homogeneous instances).
+
+Paper observations asserted here:
+
+* floor ``5/7`` holds everywhere and is approached at cell (1, 2);
+* the Theorem 6.3 band ``m ~= 0.425 n`` stays bounded away from 1 even
+  at the largest grid sizes;
+* all but a few small cells exceed 0.8.
+
+Reduced grid by default (n, m <= 40, stride 2); set ``REPRO_FULL=1`` for
+the paper's 100 x 100 sweep.
+"""
+
+import pytest
+
+from repro.core.bounds import FIVE_SEVENTHS, THEOREM63_LIMIT
+from repro.experiments.figure7 import Figure7Config, render_heatmap, run_figure7
+from repro.experiments.report import render_figure7
+
+
+@pytest.mark.paper
+def test_bench_figure7(benchmark, report_sink):
+    config = Figure7Config.from_env()
+    result = benchmark.pedantic(
+        run_figure7, args=(config,), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    assert summary["floor_respected"], "ratio dipped below 5/7"
+    assert summary["global_min"] <= 0.75, "worst cell should approach 5/7"
+    band_lo, band_hi = result.band_range()
+    assert band_hi <= 0.99, "Thm 6.3 band should stay bounded away from 1"
+    assert band_lo >= FIVE_SEVENTHS - 1e-9
+    assert summary["fraction_above_0.8"] > 0.85
+    report_sink.append(
+        render_figure7(result) + "\n" + render_heatmap(result)
+    )

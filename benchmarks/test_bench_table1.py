@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table I (Algorithm 2 trace on Figure 1).
+
+Paper row being reproduced::
+
+    pi      eps   sq   sq-ci  ...   (here: '', g, go, gog, gogo, gogog)
+    O(pi)   6     2    7      3     5     1
+    G(pi)   0     4    0      1     0     1
+    W(pi)   0     0    0      0     3     3
+"""
+
+import pytest
+
+from repro.experiments.table1 import (
+    render_table1,
+    run_table1,
+    table1_matches_paper,
+)
+
+
+@pytest.mark.paper
+def test_bench_table1(benchmark, report_sink):
+    result = benchmark(run_table1)
+    assert table1_matches_paper(result), "Table I trace diverged from paper"
+    report_sink.append(render_table1(result))

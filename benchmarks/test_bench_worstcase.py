@@ -1,0 +1,72 @@
+"""Benchmarks: regenerate the worst-case artifacts — Figure 1 (running
+example), Figure 6 (unbounded degree), Figure 18 (tight 5/7), the
+Theorem 6.3 family and the Theorem 6.1 open-only bound."""
+
+import pytest
+
+from repro.core.bounds import FIVE_SEVENTHS, THEOREM63_LIMIT
+from repro.experiments.report import (
+    render_figure1,
+    render_figure6,
+    render_figure18,
+    render_theorem61,
+    render_theorem63,
+)
+from repro.experiments.worstcase import (
+    figure1_report,
+    figure6_report,
+    figure18_report,
+    theorem61_report,
+    theorem63_report,
+)
+
+
+@pytest.mark.paper
+def test_bench_figure1(benchmark, report_sink):
+    rep = benchmark(figure1_report)
+    assert rep.t_star_closed_form == pytest.approx(4.4)
+    assert rep.t_star_lp == pytest.approx(4.4)
+    assert rep.t_ac_search == pytest.approx(4.0, rel=1e-9)
+    assert rep.greedy_word == "gogog"
+    report_sink.append(render_figure1(rep))
+
+
+@pytest.mark.paper
+def test_bench_figure6(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        figure6_report, args=((2, 4, 8, 16, 32),), rounds=1, iterations=1
+    )
+    for r in rows:
+        assert r.scheme_throughput == pytest.approx(r.t_star)
+        assert r.source_degree == r.m  # unbounded in m
+        assert r.source_degree_lower_bound == 1
+    report_sink.append(render_figure6(rows))
+
+
+@pytest.mark.paper
+def test_bench_figure18(benchmark, report_sink):
+    rep = benchmark(figure18_report)
+    assert rep.ratio == pytest.approx(FIVE_SEVENTHS, rel=1e-6)
+    report_sink.append(render_figure18(rep))
+
+
+@pytest.mark.paper
+def test_bench_theorem63(benchmark, report_sink):
+    rows = benchmark.pedantic(theorem63_report, rounds=1, iterations=1)
+    for r in rows:
+        assert r.measured_t_ac <= r.upper_bound + 1e-9
+        assert abs(r.measured_t_ac - THEOREM63_LIMIT) < 0.01
+    report_sink.append(render_theorem63(rows))
+
+
+@pytest.mark.paper
+def test_bench_theorem61(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        theorem61_report,
+        kwargs={"ns": (2, 5, 10, 50), "trials": 100},
+        rounds=1,
+        iterations=1,
+    )
+    for r in rows:
+        assert r.worst_ratio >= r.bound - 1e-9
+    report_sink.append(render_theorem61(rows))

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's worst-case landscape (Section VI).
+
+Stops:
+
+1. Figure 6   — why cyclic + guarded forces unbounded degrees;
+2. Figure 18  — the tight 5/7 instance, swept over epsilon;
+3. Theorem 6.3 — the I(alpha, k) family and the 0.9254 asymptotic gap;
+4. Figure 7   — a mini worst-case grid over tight homogeneous instances.
+
+Run:  python examples/worst_case_tour.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    FIVE_SEVENTHS,
+    THEOREM63_ALPHA,
+    THEOREM63_LIMIT,
+    cyclic_optimum,
+    figure6_instance,
+    figure6_optimal_scheme,
+    five_sevenths_instance,
+    maxflow_throughput,
+    optimal_acyclic_throughput,
+    theorem63_acyclic_upper_bound,
+    theorem63_instance,
+)
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.report import render_figure7
+
+
+def stop_figure6() -> None:
+    print("=" * 72)
+    print("Stop 1 — Figure 6: optimal cyclic schemes can need huge degrees")
+    print("=" * 72)
+    for m in (2, 8, 32):
+        inst = figure6_instance(m)
+        scheme = figure6_optimal_scheme(m)
+        t = maxflow_throughput(scheme)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        print(f"  m={m:3d}: T*={t:.3f}, source degree {scheme.outdegree(0)} "
+              f"(ceil(b0/T*) = 1!), best acyclic = {t_ac:.3f}")
+    print("  The acyclic alternative gives up a little throughput but "
+          "keeps degrees tiny.\n")
+
+
+def stop_figure18() -> None:
+    print("=" * 72)
+    print("Stop 2 — Figure 18: the tight 5/7 worst case")
+    print("=" * 72)
+    for eps in (0.0, 1.0 / 28.0, 1.0 / 14.0, 0.15):
+        inst = five_sevenths_instance(eps)
+        t_ac, word = optimal_acyclic_throughput(inst)
+        marker = "  <-- the witness" if abs(eps - 1 / 14) < 1e-12 else ""
+        print(f"  eps={eps:.4f}: T*_ac/T* = {t_ac / cyclic_optimum(inst):.6f}"
+              f" (word {word!r}){marker}")
+    print(f"  floor 5/7 = {FIVE_SEVENTHS:.6f}\n")
+
+
+def stop_theorem63() -> None:
+    print("=" * 72)
+    print("Stop 3 — Theorem 6.3: the gap persists at scale")
+    print("=" * 72)
+    alpha = Fraction(THEOREM63_ALPHA).limit_denominator(40)
+    print(f"  alpha = {alpha} ~= {float(alpha):.5f} "
+          f"(witness {THEOREM63_ALPHA:.5f})")
+    for k in (1, 2, 4, 8):
+        inst = theorem63_instance(alpha, k)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        print(f"  k={k}: n={inst.n:4d}, m={inst.m:3d}, "
+              f"T*_ac = {t_ac:.5f} <= bound "
+              f"{theorem63_acyclic_upper_bound(float(alpha)):.5f}")
+    print(f"  limit (1+sqrt(41))/8 = {THEOREM63_LIMIT:.5f} — unlike the "
+          "open-only case, the ratio does NOT tend to 1.\n")
+
+
+def stop_figure7() -> None:
+    print("=" * 72)
+    print("Stop 4 — Figure 7 (mini): the worst-case grid")
+    print("=" * 72)
+    result = run_figure7(
+        Figure7Config(max_n=12, max_m=12, stride=1, delta_samples=7)
+    )
+    print(render_figure7(result))
+
+
+def main() -> None:
+    stop_figure6()
+    stop_figure18()
+    stop_theorem63()
+    stop_figure7()
+
+
+if __name__ == "__main__":
+    main()

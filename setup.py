@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; ``pip install -e . --no-build-isolation``
+falls back to this classic ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""The paper's algorithms plus exact reference solvers and baselines."""
+
+from .acyclic_guarded import (
+    AcyclicSolution,
+    acyclic_guarded_scheme,
+    optimal_acyclic_throughput,
+    scheme_from_word,
+)
+from .acyclic_open import (
+    PartialSolution,
+    acyclic_open_scheme,
+    deficit_index,
+    partial_run,
+)
+from .baselines import (
+    multi_tree_scheme,
+    random_tree_scheme,
+    source_star_scheme,
+)
+from .cyclic_open import cyclic_open_scheme
+from .dominance import (
+    is_conservative,
+    is_increasing_order,
+    make_conservative,
+    make_increasing,
+)
+from .exact import (
+    exhaustive_acyclic_throughput,
+    optimal_cyclic_lp,
+    order_lp_throughput,
+)
+from .greedy import GreedyResult, GreedyStep, greedy_test, greedy_word
+
+__all__ = [
+    # Algorithm 1 (Section III-B)
+    "acyclic_open_scheme",
+    "deficit_index",
+    "partial_run",
+    "PartialSolution",
+    # Algorithm 2 + Theorem 4.1 (Section IV)
+    "greedy_test",
+    "greedy_word",
+    "GreedyResult",
+    "GreedyStep",
+    "optimal_acyclic_throughput",
+    "scheme_from_word",
+    "acyclic_guarded_scheme",
+    "AcyclicSolution",
+    # Theorem 5.2 (Section V)
+    "cyclic_open_scheme",
+    # dominance rewrites (Lemmas 4.2 / 4.3)
+    "is_increasing_order",
+    "make_increasing",
+    "is_conservative",
+    "make_conservative",
+    # exact reference solvers
+    "order_lp_throughput",
+    "exhaustive_acyclic_throughput",
+    "optimal_cyclic_lp",
+    # baselines
+    "source_star_scheme",
+    "random_tree_scheme",
+    "multi_tree_scheme",
+]

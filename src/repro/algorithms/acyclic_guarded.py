@@ -1,0 +1,223 @@
+"""Theorem 4.1 — optimal acyclic broadcast with guarded nodes, low degree.
+
+Three pieces (matching the paper's proof structure):
+
+1. :func:`optimal_acyclic_throughput` — there is no closed form for
+   ``T*_ac`` with guarded nodes; a dichotomic search over the linear-time
+   oracle of Algorithm 2 (:mod:`repro.algorithms.greedy`) computes it to
+   relative precision ``1e-13``.  The search is bracketed above by the
+   cyclic optimum (Lemma 5.1): any acyclic scheme is a scheme.
+
+2. :func:`scheme_from_word` — Lemma 4.6's packing: given a valid word, feed
+   every node *by the earliest possible nodes with unused upload
+   bandwidth*, drawing guarded bandwidth first for open receivers
+   (conservativeness, Lemma 4.3) and open bandwidth only for guarded
+   receivers (firewall).  Implemented with two FIFO pools, so every
+   sender's clients form a consecutive interval per pool, which is what
+   yields the degree bounds.
+
+3. :func:`acyclic_guarded_scheme` — the full pipeline.  On the word
+   produced by Algorithm 2 the scheme satisfies Theorem 4.1's bounds:
+
+   * every guarded node:       ``o_j <= ceil(b_j / T) + 1``,
+   * at most one open node:    ``o_i <= ceil(b_i / T) + 3``,
+   * every other open node:    ``o_i <= ceil(b_i / T) + 2``.
+
+   (:func:`scheme_from_word` also accepts arbitrary valid words — e.g. the
+   ``omega1``/``omega2`` words of Section VI — for which only validity and
+   throughput are guaranteed, not the degree bounds.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.bounds import cyclic_optimum
+from ..core.exceptions import InfeasibleThroughputError
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+from ..core.words import GUARDED, check_word_shape, is_valid_word
+from .greedy import greedy_test
+
+__all__ = [
+    "optimal_acyclic_throughput",
+    "scheme_from_word",
+    "acyclic_guarded_scheme",
+    "AcyclicSolution",
+]
+
+#: Relative precision of the dichotomic search on T.
+SEARCH_REL_TOL = 1e-13
+SEARCH_MAX_ITER = 200
+
+
+@dataclass
+class AcyclicSolution:
+    """Bundle returned by :func:`acyclic_guarded_scheme`."""
+
+    scheme: BroadcastScheme
+    throughput: float
+    word: str
+
+
+def optimal_acyclic_throughput(
+    instance: Instance, *, rel_tol: float = SEARCH_REL_TOL
+) -> tuple[float, str]:
+    """``(T*_ac, greedy word at T*_ac)`` by dichotomic search (Thm 4.1).
+
+    Feasibility is monotone in ``T`` (a word valid at ``T`` is valid at any
+    smaller rate), so bisection brackets the optimum; the returned rate is
+    the feasible lower bracket, hence always achievable by the returned
+    word.  For open-only instances this converges to the closed form
+    ``min(b0, S_{n-1}/n)`` (cross-checked in tests).
+    """
+    if instance.num_receivers == 0:
+        return float("inf"), ""
+    hi = cyclic_optimum(instance)
+    if hi <= 0.0:
+        return 0.0, greedy_test(instance, 0.0).word
+    from .greedy import _greedy_word_fast  # allocation-free hot path
+
+    b0 = instance.source_bw
+    opens, guardeds = instance.open_bws, instance.guarded_bws
+    word_hi = _greedy_word_fast(b0, opens, guardeds, hi)
+    if word_hi is not None:
+        return hi, word_hi
+    lo = 0.0
+    word = greedy_test(instance, 0.0).word
+    for _ in range(SEARCH_MAX_ITER):
+        if hi - lo <= rel_tol * hi:
+            break
+        mid = 0.5 * (lo + hi)
+        cand = _greedy_word_fast(b0, opens, guardeds, mid)
+        if cand is not None:
+            lo, word = mid, cand
+        else:
+            hi = mid
+    return lo, word
+
+
+class _Pool:
+    """FIFO pool of (node, remaining upload) pairs for the packing step."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: deque[list] = deque()
+
+    def push(self, node: int, amount: float) -> None:
+        if amount > 0.0:
+            self.entries.append([node, amount])
+
+    @property
+    def available(self) -> float:
+        return sum(rem for _, rem in self.entries)
+
+    def draw(
+        self, need: float, receiver: int, scheme: BroadcastScheme, tol: float
+    ) -> float:
+        """Transfer up to ``need`` from the pool front into ``receiver``.
+
+        Returns the unmet remainder.  Entries drained to within ``tol`` are
+        dropped so numerical dust never creates an extra connection.
+        """
+        entries = self.entries
+        while need > tol and entries:
+            node, rem = entries[0]
+            take = min(rem, need)
+            scheme.add_rate(node, receiver, take)
+            need -= take
+            rem -= take
+            if rem <= tol:
+                entries.popleft()
+            else:
+                entries[0][1] = rem
+        return max(need, 0.0)
+
+
+def scheme_from_word(
+    instance: Instance, word: str, throughput: float
+) -> BroadcastScheme:
+    """Lemma 4.6 packing: earliest-feeder conservative scheme for ``word``.
+
+    Nodes are introduced in word order; each must receive exactly
+    ``throughput``:
+
+    * a guarded node draws from the *open* pool only (firewall constraint);
+    * an open node draws from the *guarded* pool first (conservativeness)
+      and tops up from the open pool.
+
+    Raises :class:`InfeasibleThroughputError` when the word is not valid
+    for ``throughput`` (some node cannot be fully fed).
+    """
+    check_word_shape(instance, word, complete=True)
+    scheme = BroadcastScheme.for_instance(instance)
+    if throughput <= 0.0 or not word:
+        return scheme
+    tol = 1e-9 * max(1.0, throughput)
+    open_pool = _Pool()
+    guarded_pool = _Pool()
+    open_pool.push(0, instance.source_bw)
+    next_open, next_guarded = 1, instance.n + 1
+    for pos, letter in enumerate(word):
+        if letter == GUARDED:
+            node = next_guarded
+            next_guarded += 1
+            unmet = open_pool.draw(throughput, node, scheme, tol)
+            if unmet > tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: guarded node "
+                    f"{node} (position {pos}) short of {unmet:g} open "
+                    f"bandwidth"
+                )
+            guarded_pool.push(node, instance.bandwidth(node))
+        else:
+            node = next_open
+            next_open += 1
+            unmet = guarded_pool.draw(throughput, node, scheme, tol)
+            unmet = open_pool.draw(unmet, node, scheme, tol)
+            if unmet > tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: open node {node} "
+                    f"(position {pos}) short of {unmet:g} bandwidth"
+                )
+            open_pool.push(node, instance.bandwidth(node))
+    return scheme
+
+
+def acyclic_guarded_scheme(
+    instance: Instance,
+    throughput: Optional[float] = None,
+    *,
+    word: Optional[str] = None,
+) -> AcyclicSolution:
+    """Full Theorem 4.1 pipeline: rate -> word -> low-degree scheme.
+
+    ``throughput`` defaults to ``T*_ac`` (dichotomic search).  A caller
+    supplying ``word`` skips Algorithm 2 (the word is validity-checked
+    first); degree bounds are then only guaranteed for greedy words.
+    """
+    if throughput is None:
+        target, greedy = optimal_acyclic_throughput(instance)
+        chosen = word if word is not None else greedy
+    else:
+        target = float(throughput)
+        if word is not None:
+            chosen = word
+        else:
+            res = greedy_test(instance, target)
+            if not res.feasible:
+                raise InfeasibleThroughputError(
+                    f"rate {target:g} is not acyclically feasible: "
+                    f"{res.failure}"
+                )
+            chosen = res.word
+    if word is not None and target > 0.0:
+        if not is_valid_word(instance, chosen, target, slack=1e-9 * target):
+            raise InfeasibleThroughputError(
+                f"supplied word {chosen!r} is not valid at rate {target:g}"
+            )
+    scheme = scheme_from_word(instance, chosen, target)
+    return AcyclicSolution(scheme, target, chosen)

@@ -1,0 +1,149 @@
+"""Algorithm 1 — optimal acyclic broadcast on open-only instances.
+
+Section III-B of the paper.  Nodes are sorted by non-increasing bandwidth
+(``Instance`` guarantees this) and satisfied one after the other: node
+``Ci``'s upload bandwidth is poured into the current frontier receiver
+until either the bandwidth or the receiver's missing rate is exhausted.
+The invariant ``S_{i-1} >= i T`` (prefix bandwidth covers prefix demand)
+guarantees each node only feeds *later* nodes, so the scheme is acyclic,
+and bounds the outdegree by ``ceil(b_i / T) + 1`` — at most
+``ceil(b_i/T) - 1`` receivers are fully contained in node ``i``'s budget,
+plus the two partially-fed receivers at each end.
+
+The module also exposes the *partial run* used by the cyclic construction
+of Theorem 5.2: when ``T`` exceeds the acyclic optimum, Algorithm 1 is
+still executed on the prefix ``C0..C_{i0-1}`` where ``i0`` is the smallest
+index with ``S_{i0-1} < i0 T``; the result is an ``(i0-1)``-partial
+solution in which nodes ``1..i0-1`` receive the full rate ``T`` and node
+``i0`` receives the leftover ``T - M_{i0}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.bounds import acyclic_open_optimum
+from ..core.exceptions import InfeasibleThroughputError, ReproError
+from ..core.instance import Instance
+from ..core.numerics import ABS_TOL, fgt, flt
+from ..core.scheme import BroadcastScheme
+
+__all__ = ["acyclic_open_scheme", "deficit_index", "partial_run", "PartialSolution"]
+
+
+def deficit_index(instance: Instance, throughput: float) -> Optional[int]:
+    """Smallest ``i`` in ``1..n`` with ``S_{i-1} < i * T``, or None.
+
+    ``None`` means Algorithm 1 can serve every receiver at rate ``T``
+    (note ``i = 1`` covers the ``T <= b0`` requirement since ``S_0 = b0``).
+    Comparisons are tolerant so a target equal to the closed-form optimum
+    (a quotient of the same sums) is never rejected by float noise.
+    """
+    if instance.m != 0:
+        raise ValueError("Algorithm 1 applies to open-only instances")
+    sums = instance.prefix_sums()  # S_0 .. S_n
+    for i in range(1, instance.n + 1):
+        if flt(sums[i - 1], i * throughput):
+            return i
+    return None
+
+
+@dataclass
+class PartialSolution:
+    """An ``(i0 - 1)``-partial solution (Theorem 5.2 terminology).
+
+    ``scheme`` serves nodes ``1..i0-1`` at full rate ``T``; node ``i0``
+    receives ``T - missing``; nodes beyond ``i0`` are untouched.  When
+    ``deficit`` is None the scheme is complete (all receivers at rate
+    ``T``) and ``missing`` is 0.
+    """
+
+    scheme: BroadcastScheme
+    throughput: float
+    deficit: Optional[int]
+    missing: float  #: M_{i0} = i0*T - S_{i0-1}; 0.0 when complete
+
+
+def _pour(
+    instance: Instance,
+    throughput: float,
+    last_sender: int,
+    last_receiver: int,
+) -> BroadcastScheme:
+    """Core filling loop of Algorithm 1 over a sender/receiver prefix.
+
+    Senders ``0..last_sender`` spend their full bandwidth; receivers
+    ``1..last_receiver`` each demand rate ``T``.  The caller guarantees
+    (via :func:`deficit_index`) that demand covers supply prefix-wise, so
+    no sender ever reaches itself.
+    """
+    scheme = BroadcastScheme.for_instance(instance)
+    if throughput <= ABS_TOL or last_receiver < 1:
+        return scheme
+    tol = ABS_TOL * max(1.0, throughput)
+    remaining = [throughput] * (last_receiver + 1)  # demand of node t
+    t = 1
+    for i in range(last_sender + 1):
+        supply = instance.bandwidth(i)
+        while supply > tol and t <= last_receiver:
+            if t == i:
+                # The theory guarantees t > i whenever the prefix invariant
+                # holds; reaching this means the caller requested a rate
+                # beyond tolerance of feasibility.
+                raise ReproError(
+                    f"Algorithm 1 invariant broken: sender {i} reached "
+                    f"itself (S_{i - 1} barely < {i}*T numerically)"
+                )
+            amount = min(remaining[t], supply)
+            if amount > 0.0:
+                scheme.add_rate(i, t, amount)
+                remaining[t] -= amount
+                supply -= amount
+            if remaining[t] <= tol:
+                t += 1
+        if t > last_receiver:
+            break
+    return scheme
+
+
+def acyclic_open_scheme(
+    instance: Instance, throughput: Optional[float] = None
+) -> BroadcastScheme:
+    """Algorithm 1: an acyclic scheme of throughput ``T`` (open only).
+
+    ``throughput`` defaults to the optimum ``min(b0, S_{n-1}/n)``;
+    requesting more raises :class:`InfeasibleThroughputError`.  The
+    returned scheme satisfies every receiver at exactly rate ``T`` and the
+    degree bound ``o_i <= ceil(b_i / T) + 1`` (Section III-B; tightest
+    possible unless P = NP by Theorem 3.1).
+    """
+    optimum = acyclic_open_optimum(instance)
+    target = optimum if throughput is None else float(throughput)
+    if fgt(target, optimum):
+        raise InfeasibleThroughputError(
+            f"target {target} exceeds the acyclic optimum {optimum}"
+        )
+    target = min(target, optimum)  # absorb +eps noise from callers
+    if instance.n == 0 or target <= ABS_TOL:
+        return BroadcastScheme.for_instance(instance)
+    return _pour(instance, target, instance.n, instance.n)
+
+
+def partial_run(instance: Instance, throughput: float) -> PartialSolution:
+    """Run Algorithm 1 until the bandwidth deficit (Theorem 5.2, step 1).
+
+    When ``T`` is acyclically feasible this returns a complete scheme
+    (``deficit is None``); otherwise senders ``0..i0-1`` spend everything,
+    receivers ``1..i0-1`` are fully served, and ``C_{i0}`` is left missing
+    ``M_{i0} = i0*T - S_{i0-1}``.
+    """
+    i0 = deficit_index(instance, throughput)
+    if i0 is None:
+        return PartialSolution(
+            acyclic_open_scheme(instance, throughput), throughput, None, 0.0
+        )
+    # Senders 0..i0-1 exhaust their bandwidth; the frontier receiver is i0.
+    scheme = _pour(instance, throughput, i0 - 1, i0)
+    missing = i0 * throughput - instance.prefix_sum(i0 - 1)
+    return PartialSolution(scheme, throughput, i0, missing)

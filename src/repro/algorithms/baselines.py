@@ -1,0 +1,144 @@
+"""Baseline overlay builders used by the examples and ablation benches.
+
+The paper positions its algorithms against simple overlay strategies that
+practical systems use (Section II-B): single-tree distribution, the
+source-star, and SplitStream-style multi-tree striping.  None of these
+come with the paper's optimality guarantees; the ablation benchmark
+``benchmarks/test_bench_ablations.py`` quantifies the throughput gap on
+the paper's random workloads.
+
+All builders respect the firewall constraint (guarded nodes never feed
+guarded nodes) and the bandwidth constraints by construction, so their
+outputs are valid :class:`~repro.core.scheme.BroadcastScheme` objects and
+can be compared apples-to-apples with the paper's schemes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+
+__all__ = [
+    "source_star_scheme",
+    "random_tree_scheme",
+    "multi_tree_scheme",
+]
+
+
+def source_star_scheme(instance: Instance) -> BroadcastScheme:
+    """The naive overlay: the source feeds every receiver directly.
+
+    Throughput ``b0 / (n + m)`` — the baseline every peer-assisted system
+    tries to beat, since it ignores all receiver upload bandwidth.
+    """
+    scheme = BroadcastScheme.for_instance(instance)
+    k = instance.num_receivers
+    if k == 0:
+        return scheme
+    rate = instance.source_bw / k
+    for v in instance.receivers():
+        scheme.set_rate(0, v, rate)
+    return scheme
+
+
+def _random_parents(
+    instance: Instance, rng: random.Random, fanout_cap: Optional[int]
+) -> list[int]:
+    """Pick a random feasible parent for every receiver (tree edges).
+
+    Nodes are attached in random order; guarded receivers may only attach
+    to open nodes already in the tree (the source is always available, so
+    a feasible parent always exists).  ``fanout_cap`` limits children per
+    node when set.
+    """
+    order = list(instance.receivers())
+    rng.shuffle(order)
+    parents = [0] * (instance.num_nodes)
+    in_tree: list[int] = [0]
+    children = [0] * instance.num_nodes
+    for v in order:
+        candidates = [
+            u
+            for u in in_tree
+            if instance.can_send(u, v)
+            and (fanout_cap is None or children[u] < fanout_cap)
+        ]
+        if not candidates:  # fanout caps can starve; fall back to the source
+            candidates = [u for u in in_tree if instance.can_send(u, v)]
+        parent = rng.choice(candidates)
+        parents[v] = parent
+        children[parent] += 1
+        in_tree.append(v)
+    return parents
+
+
+def random_tree_scheme(
+    instance: Instance,
+    *,
+    seed: int = 0,
+    fanout_cap: Optional[int] = None,
+) -> BroadcastScheme:
+    """A single random spanning tree pushed at its maximum uniform rate.
+
+    Every tree edge carries the same rate ``T``; the largest feasible
+    ``T`` is ``min_i b_i / children_i`` over nodes with children.  Single
+    trees waste every leaf's upload bandwidth, which is why their
+    throughput collapses on heterogeneous instances.
+    """
+    scheme = BroadcastScheme.for_instance(instance)
+    if instance.num_receivers == 0:
+        return scheme
+    rng = random.Random(seed)
+    parents = _random_parents(instance, rng, fanout_cap)
+    children: dict[int, list[int]] = {}
+    for v in instance.receivers():
+        children.setdefault(parents[v], []).append(v)
+    rate = min(
+        instance.bandwidth(u) / len(kids) for u, kids in children.items()
+    )
+    for u, kids in children.items():
+        for v in kids:
+            scheme.set_rate(u, v, rate)
+    return scheme
+
+
+def multi_tree_scheme(
+    instance: Instance,
+    num_trees: int = 4,
+    *,
+    seed: int = 0,
+    fanout_cap: Optional[int] = None,
+) -> BroadcastScheme:
+    """SplitStream-style striping: ``k`` random trees, one stripe each.
+
+    The stream is split into ``num_trees`` stripes; tree ``t`` carries
+    stripe ``t`` at a uniform per-edge rate.  Each node's bandwidth is
+    budgeted evenly across trees, so the scheme always satisfies the
+    bandwidth constraint; interior-node diversity across trees is what
+    lets leaf upload get used (SplitStream's design goal).  Note the
+    resulting degrees are roughly ``num_trees`` times those of the paper's
+    schemes — exactly the comparison made in Section II-B.
+    """
+    if num_trees <= 0:
+        raise ValueError("need at least one tree")
+    scheme = BroadcastScheme.for_instance(instance)
+    if instance.num_receivers == 0:
+        return scheme
+    rng = random.Random(seed)
+    budget_factor = 1.0 / num_trees
+    for t in range(num_trees):
+        parents = _random_parents(instance, rng, fanout_cap)
+        children: dict[int, list[int]] = {}
+        for v in instance.receivers():
+            children.setdefault(parents[v], []).append(v)
+        stripe_rate = min(
+            instance.bandwidth(u) * budget_factor / len(kids)
+            for u, kids in children.items()
+        )
+        for u, kids in children.items():
+            for v in kids:
+                scheme.add_rate(u, v, stripe_rate)
+    return scheme

@@ -1,0 +1,171 @@
+"""Theorem 5.2 — optimal *cyclic* broadcast on open-only instances.
+
+The cyclic optimum ``T* = min(b0, (b0 + O)/n)`` can exceed the acyclic
+optimum ``min(b0, S_{n-1}/n)`` because an acyclic solution always wastes
+the last node's bandwidth.  The paper's construction recovers the gap with
+local cycles while keeping degrees at ``max(ceil(b_i/T) + 2, 4)``:
+
+* **Step 1** (:func:`repro.algorithms.acyclic_open.partial_run`): run
+  Algorithm 1 until the first deficit index ``i0``
+  (``S_{i0-1} < i0 T``); nodes ``1..i0-1`` are fully served, ``C_{i0}`` is
+  short of ``M_{i0} = i0 T - S_{i0-1}``.
+
+* **Step 2, initial case** (Appendix X-A, Figure 13): with
+  ``alpha = max(0, M_{i+1} - M_i)`` and ``beta = M_{i+1} - alpha``,
+  redirect ``alpha`` of the flow entering ``C_i`` towards ``C_{i+1}``,
+  reroute ``M_i`` of the edge ``(C0, C1)`` to ``C_i``, and let
+  ``C_i``/``C_{i+1}`` pay each other (and ``C1``) back.  The key accounting
+  identity is ``R_i + M_{i+1} = T`` where ``R_i = b_i - M_i`` is the
+  remaining upload of ``C_i``.
+
+* **Step 2, induction** (Figure 16): each next node ``C_{i+1}`` is spliced
+  into the 2-cycle between ``C_{i-1}`` and ``C_i``, receiving
+  ``R_i + beta`` from ``C_i`` and ``alpha`` from ``C_{i-1}``, and paying
+  back ``M_{i+1} = alpha + beta``.
+
+Every intermediate ``i``-partial solution keeps the invariants (P1)-(P4)
+of the paper; the final scheme serves every node at rate ``T`` (verified
+by max-flow in the tests, since the scheme is cyclic and in-rate alone is
+not a certificate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bounds import cyclic_open_optimum
+from ..core.exceptions import InfeasibleThroughputError, ReproError
+from ..core.instance import Instance
+from ..core.numerics import ABS_TOL, fgt
+from ..core.scheme import BroadcastScheme
+from .acyclic_open import partial_run
+
+__all__ = ["cyclic_open_scheme"]
+
+
+def _redirect_into(
+    scheme: BroadcastScheme,
+    old_receiver: int,
+    new_receiver: int,
+    amount: float,
+    *,
+    skip: tuple[int, ...] = (),
+) -> None:
+    """Move ``amount`` of flow entering ``old_receiver`` to ``new_receiver``.
+
+    Draws from the current in-edges of ``old_receiver`` (earliest sender
+    first, so at most one sender's edge is split), skipping senders listed
+    in ``skip``.  Used for the "flow alpha goes from A to C_{i+1} instead
+    of C_i" move of the initial case.
+    """
+    if amount <= ABS_TOL:
+        return
+    senders = sorted(
+        (i, scheme.rate(i, old_receiver))
+        for i in range(scheme.num_nodes)
+        if i != old_receiver
+        and i not in skip
+        and scheme.rate(i, old_receiver) > 0.0
+    )
+    remaining = amount
+    for sender, rate in senders:
+        take = min(rate, remaining)
+        scheme.add_rate(sender, old_receiver, -take)
+        scheme.add_rate(sender, new_receiver, take)
+        remaining -= take
+        if remaining <= ABS_TOL:
+            return
+    raise ReproError(
+        f"could not redirect {amount:g} into node {new_receiver}: "
+        f"{remaining:g} left over"
+    )
+
+
+def cyclic_open_scheme(
+    instance: Instance, throughput: Optional[float] = None
+) -> BroadcastScheme:
+    """Build a cyclic scheme of rate ``T <= min(b0, (b0+O)/n)`` (Thm 5.2).
+
+    ``throughput`` defaults to the optimum.  Degrees satisfy
+    ``o_i <= max(ceil(b_i / T) + 2, 4)``; when ``T`` happens to be
+    acyclically feasible the result is simply Algorithm 1's DAG.
+    """
+    if instance.m != 0:
+        raise ValueError(
+            "the low-degree cyclic construction exists only without guarded "
+            "nodes (Theorem 5.2); with guarded nodes optimal cyclic schemes "
+            "may need unbounded degree (Figure 6)"
+        )
+    optimum = cyclic_open_optimum(instance)
+    target = optimum if throughput is None else float(throughput)
+    if fgt(target, optimum):
+        raise InfeasibleThroughputError(
+            f"target {target} exceeds the cyclic optimum {optimum}"
+        )
+    target = min(target, optimum)
+    if instance.n == 0 or target <= ABS_TOL:
+        return BroadcastScheme.for_instance(instance)
+
+    partial = partial_run(instance, target)
+    scheme = partial.scheme
+    i0 = partial.deficit
+    if i0 is None:
+        return scheme  # acyclically feasible: Algorithm 1's output stands
+
+    n = instance.n
+    sums = instance.prefix_sums()  # S_0..S_n
+
+    def missing(i: int) -> float:
+        """M_i = i*T - S_{i-1} (>= 0 for i >= i0, and <= min(b_i, T))."""
+        return i * target - sums[i - 1]
+
+    def remaining(i: int) -> float:
+        """R_i = b_i - M_i."""
+        return instance.bandwidth(i) - missing(i)
+
+    m_i0 = missing(i0)
+    if not m_i0 <= min(instance.bandwidth(i0), target) + ABS_TOL * max(
+        1.0, target
+    ):
+        raise ReproError(
+            f"invariant M_{i0} <= min(b_{i0}, T) violated: {m_i0:g}"
+        )
+
+    if i0 == n:
+        # Degenerate final case (Appendix X-A(c)): alpha = beta = 0 and the
+        # leftover R_n is simply not used.
+        scheme.add_rate(0, 1, -m_i0)
+        scheme.add_rate(0, n, m_i0)
+        scheme.add_rate(n, 1, m_i0)
+        return scheme
+
+    # ---- Initial case: build the (i0+1)-partial solution (Figure 13) ----
+    i = i0
+    m_next = missing(i + 1)
+    alpha = max(0.0, m_next - m_i0)
+    beta = m_next - alpha
+    # Flow alpha from A (the current feeders of C_i) moves to C_{i+1}.
+    _redirect_into(scheme, i, i + 1, alpha)
+    # Flow M_i of edge (C0, C1) is rerouted to C_i (c_{0,1} = T >= M_i).
+    scheme.add_rate(0, 1, -m_i0)
+    scheme.add_rate(0, i, m_i0)
+    # C_i spends its full bandwidth: R_i + beta forward, M_i - beta back.
+    scheme.add_rate(i, i + 1, remaining(i) + beta)
+    scheme.add_rate(i, 1, m_i0 - beta)
+    # C_{i+1} pays back: beta to C1, alpha to C_i.
+    scheme.add_rate(i + 1, 1, beta)
+    scheme.add_rate(i + 1, i, alpha)
+
+    # ---- Induction: splice C_{i+1} into the (C_{i-1}, C_i) cycle --------
+    for i in range(i0 + 1, n):
+        m_next = missing(i + 1)
+        back = scheme.rate(i, i - 1)  # c_{i,i-1}; with (P1): back + fwd = T
+        alpha = max(0.0, m_next - back)
+        beta = m_next - alpha
+        scheme.add_rate(i, i + 1, remaining(i) + beta)
+        scheme.add_rate(i, i - 1, -beta)
+        scheme.add_rate(i - 1, i, -alpha)
+        scheme.add_rate(i - 1, i + 1, alpha)
+        scheme.add_rate(i + 1, i, alpha)
+        scheme.add_rate(i + 1, i - 1, beta)
+    return scheme

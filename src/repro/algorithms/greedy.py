@@ -1,0 +1,220 @@
+"""Algorithm 2 ("GreedyTest") — feasibility oracle with guarded nodes.
+
+Section IV-B of the paper.  Given a target rate ``T``, the algorithm
+builds a coding word letter by letter, preferring guarded letters (the
+scarce resource is *open* bandwidth: burning guarded upload early is never
+wasteful).  An open letter is forced when
+
+* no guarded node remains (``j = m``),
+* the open pool cannot feed a guarded node now (``O(pi) < T``), or
+* taking the guarded node would strand the next step
+  (``O(pi) + G(pi) - T + b_next_guarded < T``),
+
+with a special last-guarded rule (``j = m - 1``): when exactly one guarded
+node remains, minimizing open->open waste no longer matters and the
+algorithm simply takes the larger of the two candidate bandwidths.
+
+Lemma 4.5: the algorithm returns a valid word iff ``T <= T*_ac``, so a
+dichotomic search on ``T`` (see :mod:`repro.algorithms.acyclic_guarded`)
+computes the optimal acyclic throughput; each call costs ``O(n + m)``.
+
+The run can be traced step by step; Table I of the paper is exactly such
+a trace on the Figure 1 instance (see :mod:`repro.experiments.table1`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instance import Instance
+from ..core.words import (
+    GUARDED,
+    OPEN,
+    WordState,
+    initial_state,
+    step_state,
+)
+
+__all__ = ["GreedyStep", "GreedyResult", "greedy_test", "greedy_word"]
+
+
+@dataclass(frozen=True)
+class GreedyStep:
+    """One appended letter with the resulting pools and the decision cause."""
+
+    letter: str
+    state: WordState  #: Lemma 4.4 state *after* appending ``letter``
+    reason: str  #: human-readable cause ("preferred guarded", "forced open: O < T", ...)
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a GreedyTest run."""
+
+    feasible: bool
+    throughput: float
+    word: str = ""
+    steps: list[GreedyStep] = field(default_factory=list)
+    failure: Optional[str] = None  #: reason when infeasible
+    initial: Optional[WordState] = None  #: empty-prefix state (trace mode)
+
+    def states(self) -> list[WordState]:
+        """All Lemma 4.4 states, starting with the empty prefix (trace mode)."""
+        if self.initial is None:
+            raise ValueError("run greedy_test(..., trace=True) to keep states")
+        return [self.initial, *(s.state for s in self.steps)]
+
+
+def _greedy_word_fast(
+    b0: float,
+    opens: tuple[float, ...],
+    guardeds: tuple[float, ...],
+    throughput: float,
+) -> Optional[str]:
+    """Allocation-free Algorithm 2 (hot path of the parameter sweeps).
+
+    Semantically identical to the traced version in :func:`greedy_test`
+    (property-tested against it); returns the word or None on failure.
+    """
+    n, m = len(opens), len(guardeds)
+    open_avail = b0
+    guarded_avail = 0.0
+    i = j = 0
+    letters: list[str] = []
+    append = letters.append
+    t = throughput
+    while i + j < n + m:
+        if open_avail + guarded_avail < t:
+            return None
+        take_guarded = True
+        if i != n:
+            if j == m:
+                take_guarded = False
+            elif j == m - 1:
+                if open_avail < t or guardeds[j] < opens[i]:
+                    take_guarded = False
+            else:
+                if (
+                    open_avail < t
+                    or open_avail + guarded_avail - t + guardeds[j] < t
+                ):
+                    take_guarded = False
+        if take_guarded:
+            open_avail -= t
+            if open_avail < 0.0:
+                return None
+            guarded_avail += guardeds[j]
+            j += 1
+            append(GUARDED)
+        else:
+            open_avail += opens[i]
+            need = t - guarded_avail
+            if need > 0.0:
+                open_avail -= need
+                guarded_avail = 0.0
+            else:
+                guarded_avail -= t
+            i += 1
+            append(OPEN)
+    return "".join(letters)
+
+
+def greedy_test(
+    instance: Instance, throughput: float, *, trace: bool = False
+) -> GreedyResult:
+    """Decide whether rate ``throughput`` is acyclically feasible.
+
+    Implements Algorithm 2 verbatim.  With ``trace=True`` every decision is
+    recorded (used to regenerate Table I); otherwise an allocation-free
+    fast path is used and only the word is kept.
+
+    Comparisons are exact (no tolerance): the dichotomic search calling
+    this oracle relies on monotone exact feasibility, and the returned
+    optimum is always the *feasible* bracket endpoint.
+    """
+    n, m = instance.n, instance.m
+    result = GreedyResult(feasible=True, throughput=throughput)
+    if throughput <= 0.0:
+        # Any order works at rate 0; emit the guarded-first greedy word.
+        result.word = GUARDED * m + OPEN * n
+        return result
+    if not trace:
+        word = _greedy_word_fast(
+            instance.source_bw,
+            instance.open_bws,
+            instance.guarded_bws,
+            throughput,
+        )
+        if word is None:
+            result.feasible = False
+            result.failure = "infeasible (fast path; re-run with trace=True)"
+        else:
+            result.word = word
+        return result
+    state = initial_state(instance)
+    if trace:
+        result.initial = state
+    letters: list[str] = []
+    steps: list[GreedyStep] = []
+    while len(letters) < n + m:
+        if state.total_avail < throughput:
+            result.feasible = False
+            result.failure = (
+                f"after '{''.join(letters)}': O + G = {state.total_avail:g} "
+                f"< T = {throughput:g}"
+            )
+            break
+        i, j = state.opens_used, state.guardeds_used
+        letter = GUARDED
+        reason = "preferred guarded"
+        if i != n:
+            if j == m:
+                letter, reason = OPEN, "forced open: no guarded node left"
+            elif j == m - 1:
+                # Last guarded node: take the larger bandwidth next (waste
+                # minimization no longer matters, Lemma 9.3).
+                if state.open_avail < throughput:
+                    letter, reason = OPEN, "forced open: O < T (last guarded)"
+                elif instance.guarded_bws[j] < instance.open_bws[i]:
+                    letter, reason = (
+                        OPEN,
+                        "forced open: next open bandwidth larger "
+                        "(last guarded delayed)",
+                    )
+            else:
+                if state.open_avail < throughput:
+                    letter, reason = OPEN, "forced open: O < T"
+                elif (
+                    state.total_avail - throughput + instance.guarded_bws[j]
+                    < throughput
+                ):
+                    letter, reason = (
+                        OPEN,
+                        "forced open: guarded choice would strand next step "
+                        "(O + G - T + b_next_guarded < T)",
+                    )
+        else:
+            reason = "forced guarded: no open node left"
+        state = step_state(state, letter, instance, throughput)
+        letters.append(letter)
+        if trace:
+            steps.append(GreedyStep(letter, state, reason))
+        if state.open_avail < 0.0:
+            result.feasible = False
+            result.failure = (
+                f"after '{''.join(letters)}': O = {state.open_avail:g} < 0"
+            )
+            break
+    result.word = "".join(letters)
+    result.steps = steps
+    if not result.feasible:
+        result.word = ""
+        return result
+    return result
+
+
+def greedy_word(instance: Instance, throughput: float) -> Optional[str]:
+    """The greedy word for ``throughput``, or None when infeasible."""
+    res = greedy_test(instance, throughput)
+    return res.word if res.feasible else None

@@ -1,0 +1,31 @@
+"""Analysis extensions: scheme metrics, depth-aware packing (the paper's
+"minimize delays" future work), and churn-resilience experiments (the
+paper's conclusion caveat, quantified)."""
+
+from .churn import ChurnReport, churn_experiment
+from .depth import (
+    DepthAblationRow,
+    depth_ablation,
+    depth_aware_scheme_from_word,
+)
+from .metrics import SchemeStats, compare_stats, scheme_depths, scheme_stats
+from .robustness import (
+    RobustnessReport,
+    clip_to_capacities,
+    perturbation_experiment,
+)
+
+__all__ = [
+    "scheme_depths",
+    "scheme_stats",
+    "SchemeStats",
+    "compare_stats",
+    "depth_aware_scheme_from_word",
+    "depth_ablation",
+    "DepthAblationRow",
+    "churn_experiment",
+    "ChurnReport",
+    "perturbation_experiment",
+    "clip_to_capacities",
+    "RobustnessReport",
+]

@@ -1,0 +1,131 @@
+"""Churn experiments — quantifying the paper's resilience caveat.
+
+The conclusion of the paper states the constructed overlays "should be
+resilient to small variations in the communication performance of nodes.
+However [the solution] is probably not resilient to churn."  This module
+turns that remark into a measurement:
+
+1. build the Theorem 4.1 overlay for a swarm;
+2. fail the structurally most-important relay (largest forwarded rate)
+   halfway through a packet simulation and measure the goodput collapse
+   of the nodes downstream of it;
+3. *static repair*: recompute the overlay on the surviving instance
+   (what a tracker-style controller would do) and measure the recovered
+   rate — the repaired rate is simply ``T*_ac`` of the surviving swarm.
+
+The headline numbers: churn is indeed catastrophic without repair
+(downstream nodes starve), while a recomputation restores near-optimal
+throughput — i.e. the fragility lies in the static overlay, not in the
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.acyclic_guarded import acyclic_guarded_scheme
+from ..core.instance import Instance
+from ..instances.generators import random_instance
+from ..simulation.packet_sim import simulate_packet_broadcast
+
+__all__ = ["ChurnReport", "churn_experiment"]
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of one churn-injection run."""
+
+    size: int
+    planned_rate: float  #: overlay rate before the failure
+    failed_node: int  #: the relay that departs
+    failed_forwarding: float  #: rate it was forwarding
+    healthy_min_goodput: float  #: worst goodput, no failure (control run)
+    churn_min_goodput: float  #: worst goodput among survivors, post-failure
+    starved_nodes: int  #: survivors below 50% of the planned rate
+    repaired_rate: float  #: T*_ac of the surviving swarm (static repair)
+
+    @property
+    def collapse_factor(self) -> float:
+        """Survivor goodput relative to the healthy control run."""
+        if self.healthy_min_goodput <= 0:
+            return 1.0
+        return self.churn_min_goodput / self.healthy_min_goodput
+
+    @property
+    def repair_ratio(self) -> float:
+        """Repaired rate relative to the original planned rate."""
+        if self.planned_rate <= 0:
+            return 1.0
+        return self.repaired_rate / self.planned_rate
+
+
+def _surviving_instance(
+    instance: Instance, failed: int
+) -> Instance:
+    """The swarm without the failed node (source never fails)."""
+    opens = list(instance.open_bws)
+    guardeds = list(instance.guarded_bws)
+    if instance.is_open(failed):
+        opens.pop(failed - 1)
+    else:
+        guardeds.pop(failed - instance.n - 1)
+    return Instance(instance.source_bw, tuple(opens), tuple(guardeds))
+
+
+def churn_experiment(
+    size: int = 40,
+    open_prob: float = 0.5,
+    *,
+    distribution: str = "Unif100",
+    slots: int = 300,
+    seed: int = 23,
+) -> ChurnReport:
+    """Fail the busiest relay mid-run and measure collapse + repair."""
+    rng = np.random.default_rng(seed)
+    inst = random_instance(rng, size, open_prob, distribution)
+    sol = acyclic_guarded_scheme(inst)
+    rate = sol.throughput * (1 - 1e-9)
+    scheme = sol.scheme
+
+    # The busiest relay: the non-source node forwarding the most rate.
+    forwarding = [(scheme.out_rate(v), v) for v in inst.receivers()]
+    failed_forwarding, failed = max(forwarding)
+
+    ppu = 2.0 / max(rate, 1e-12)  # ~2 packets per slot regardless of units
+    control = simulate_packet_broadcast(
+        inst, scheme, rate, slots=slots, seed=seed, packets_per_unit=ppu
+    )
+    churned = simulate_packet_broadcast(
+        inst,
+        scheme,
+        rate,
+        slots=slots,
+        seed=seed,
+        packets_per_unit=ppu,
+        failures={failed: slots // 2},
+    )
+    survivors = [
+        v for v in inst.receivers() if v != failed
+    ]
+    churn_min = min(churned.goodput[v] for v in survivors)
+    starved = sum(
+        1 for v in survivors if churned.goodput[v] < 0.5 * rate
+    )
+
+    from ..algorithms.acyclic_guarded import optimal_acyclic_throughput
+
+    repaired_rate, _ = optimal_acyclic_throughput(
+        _surviving_instance(inst, failed)
+    )
+    return ChurnReport(
+        size=size,
+        planned_rate=sol.throughput,
+        failed_node=failed,
+        failed_forwarding=failed_forwarding,
+        healthy_min_goodput=control.min_goodput,
+        churn_min_goodput=churn_min,
+        starved_nodes=starved,
+        repaired_rate=repaired_rate,
+    )

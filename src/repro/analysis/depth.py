@@ -1,0 +1,196 @@
+"""Depth-aware packing — the paper's "minimize delays" future work.
+
+The Lemma 4.6 packing feeds every node from the *earliest* pool entries
+(FIFO), which yields the degree guarantees but tends to build long relay
+chains: early nodes become transit hubs and late nodes sit at large
+depth, i.e. high startup latency (cf. :mod:`repro.simulation.fluid`).
+
+The paper's conclusion lists depth optimization as an open direction.
+This module implements the natural greedy: when drawing from a pool,
+prefer the entry whose node currently has the **smallest depth** (hops
+from the source), breaking ties towards earlier nodes.  Two invariants
+of the word machinery are preserved:
+
+* inter-pool priority is untouched (open receivers still drain the
+  guarded pool before touching open bandwidth), so the Lemma 4.4
+  accounting — and hence feasibility of the word at the given rate —
+  is unchanged;
+* every receiver still gets exactly the target rate, so throughput and
+  the tree-decomposition property are unchanged.
+
+What is *given up* is the consecutive-interval argument behind Theorem
+4.1's degree bounds: a low-depth sender can be revisited, so its clients
+need not be consecutive.
+
+Measured outcome (see :func:`depth_ablation` and the ablation bench): the
+min-depth draw only shaves ~1 hop off the FIFO packing, because FIFO
+already visits early — hence shallow — nodes first.  The *effective*
+lever on depth is backing the rate off ``T*_ac``: at 75% of the optimal
+rate the maximum depth roughly halves, for either policy.  That is the
+quantitative form of the paper's delay/throughput trade-off remark, and
+the reason the ablation sweeps rate fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import InfeasibleThroughputError
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+from ..core.words import GUARDED, check_word_shape
+
+__all__ = ["depth_aware_scheme_from_word", "DepthAblationRow", "depth_ablation"]
+
+
+class _DepthPool:
+    """Pool of [node, remaining] entries drawn in min-depth order."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[list] = []  # [node, remaining]
+
+    def push(self, node: int, amount: float) -> None:
+        if amount > 0.0:
+            self.entries.append([node, amount])
+
+    def draw(
+        self,
+        need: float,
+        receiver: int,
+        scheme: BroadcastScheme,
+        depth: list[int],
+        tol: float,
+    ) -> float:
+        entries = self.entries
+        while need > tol and entries:
+            best_idx = min(
+                range(len(entries)),
+                key=lambda k: (depth[entries[k][0]], entries[k][0]),
+            )
+            node, rem = entries[best_idx]
+            take = min(rem, need)
+            scheme.add_rate(node, receiver, take)
+            if depth[node] + 1 > depth[receiver]:
+                depth[receiver] = depth[node] + 1
+            need -= take
+            rem -= take
+            if rem <= tol:
+                entries.pop(best_idx)
+            else:
+                entries[best_idx][1] = rem
+        return max(need, 0.0)
+
+
+def depth_aware_scheme_from_word(
+    instance: Instance, word: str, throughput: float
+) -> BroadcastScheme:
+    """Variant of the Lemma 4.6 packing minimizing per-receiver depth.
+
+    Same contract as
+    :func:`repro.algorithms.acyclic_guarded.scheme_from_word` (valid word
+    + rate in, acyclic exact-rate scheme out); only the intra-pool draw
+    order differs.
+    """
+    check_word_shape(instance, word, complete=True)
+    scheme = BroadcastScheme.for_instance(instance)
+    if throughput <= 0.0 or not word:
+        return scheme
+    tol = 1e-9 * max(1.0, throughput)
+    depth = [0] * instance.num_nodes
+    open_pool = _DepthPool()
+    guarded_pool = _DepthPool()
+    open_pool.push(0, instance.source_bw)
+    next_open, next_guarded = 1, instance.n + 1
+    for pos, letter in enumerate(word):
+        if letter == GUARDED:
+            node = next_guarded
+            next_guarded += 1
+            unmet = open_pool.draw(throughput, node, scheme, depth, tol)
+            if unmet > tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: guarded node "
+                    f"{node} (position {pos}) short of {unmet:g}"
+                )
+            guarded_pool.push(node, instance.bandwidth(node))
+        else:
+            node = next_open
+            next_open += 1
+            unmet = guarded_pool.draw(throughput, node, scheme, depth, tol)
+            unmet = open_pool.draw(unmet, node, scheme, depth, tol)
+            if unmet > tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: open node {node} "
+                    f"(position {pos}) short of {unmet:g}"
+                )
+            open_pool.push(node, instance.bandwidth(node))
+    return scheme
+
+
+@dataclass(frozen=True)
+class DepthAblationRow:
+    """FIFO vs depth-aware packing on one instance at one rate point."""
+
+    size: int
+    rate_fraction: float  #: fraction of T*_ac the overlay is packed for
+    throughput: float
+    fifo_max_depth: int
+    depth_aware_max_depth: int
+    fifo_max_excess: int
+    depth_aware_max_excess: int
+
+
+def depth_ablation(
+    sizes: tuple[int, ...] = (20, 60, 150),
+    open_prob: float = 0.6,
+    rate_fractions: tuple[float, ...] = (1.0, 0.9, 0.75),
+    seed: int = 17,
+) -> list[DepthAblationRow]:
+    """Measure the depth/degree trade across sizes and rate back-off.
+
+    At the optimal rate the pools are drained as they fill, so both
+    policies build similar chains; backing the rate off leaves slack in
+    the pools (in particular at the source, depth 0) which the min-depth
+    policy converts into much shallower overlays — the quantitative form
+    of the paper's delay/throughput trade-off remark.
+    """
+    import numpy as np
+
+    from ..algorithms.acyclic_guarded import (
+        optimal_acyclic_throughput,
+        scheme_from_word,
+    )
+    from ..algorithms.greedy import greedy_test
+    from ..instances.generators import random_instance
+    from .metrics import scheme_depths, scheme_stats
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for size in sizes:
+        inst = random_instance(rng, size, open_prob, "Unif100")
+        t_opt, _ = optimal_acyclic_throughput(inst)
+        for frac in rate_fractions:
+            target = t_opt * frac * (1 - 1e-9)
+            res = greedy_test(inst, target)
+            if not res.feasible:  # pragma: no cover - frac <= 1 is feasible
+                continue
+            word = res.word
+            fifo = scheme_from_word(inst, word, target)
+            aware = depth_aware_scheme_from_word(inst, word, target)
+            rows.append(
+                DepthAblationRow(
+                    size=size,
+                    rate_fraction=frac,
+                    throughput=target,
+                    fifo_max_depth=max(scheme_depths(fifo)),
+                    depth_aware_max_depth=max(scheme_depths(aware)),
+                    fifo_max_excess=scheme_stats(
+                        inst, fifo, target
+                    ).max_degree_excess,
+                    depth_aware_max_excess=scheme_stats(
+                        inst, aware, target
+                    ).max_degree_excess,
+                )
+            )
+    return rows

@@ -1,0 +1,127 @@
+"""Scheme analysis: degrees, depth, utilization, side-by-side comparison.
+
+The paper's conclusion lists "optimizing the depth of produced schemes in
+order to minimize delays" as an open direction; this module provides the
+measurement side: per-node *depth* (longest source path in the overlay —
+an upper bound on pipeline latency in hops) plus the degree/utilization
+statistics the theorems talk about.  The depth-aware packing extension
+lives in :mod:`repro.analysis.depth` and is evaluated with these metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.instance import Instance
+from ..core.numerics import safe_ceil_div
+from ..core.scheme import BroadcastScheme
+
+__all__ = ["SchemeStats", "scheme_depths", "scheme_stats", "compare_stats"]
+
+
+def scheme_depths(scheme: BroadcastScheme, *, source: int = 0) -> list[int]:
+    """Longest-path depth of every node in an acyclic scheme.
+
+    Depth is measured in hops from the source along scheme edges
+    (longest path, i.e. the worst pipeline latency of any substream
+    reaching the node).  Unreachable nodes get depth -1.  Raises
+    ``ValueError`` on cyclic schemes (depth is unbounded there).
+    """
+    order = scheme.topological_order()
+    if order is None:
+        raise ValueError("depth is only defined for acyclic schemes")
+    depth = [-1] * scheme.num_nodes
+    depth[source] = 0
+    for u in order:
+        if depth[u] < 0:
+            continue
+        for v in scheme.successors(u):
+            if depth[v] < depth[u] + 1:
+                depth[v] = depth[u] + 1
+    return depth
+
+
+@dataclass(frozen=True)
+class SchemeStats:
+    """Aggregate metrics of one scheme (against its instance)."""
+
+    num_edges: int
+    throughput: float
+    max_outdegree: int
+    mean_outdegree: float
+    max_degree_excess: int  #: max over nodes of o_i - ceil(b_i / T)
+    bandwidth_utilization: float  #: sum of rates / total instance bandwidth
+    max_depth: Optional[int]  #: None for cyclic schemes
+    mean_depth: Optional[float]
+
+    def row(self) -> list:
+        return [
+            self.throughput,
+            self.num_edges,
+            self.max_outdegree,
+            self.max_degree_excess,
+            "-" if self.max_depth is None else self.max_depth,
+            self.bandwidth_utilization,
+        ]
+
+
+def scheme_stats(
+    instance: Instance,
+    scheme: BroadcastScheme,
+    throughput: Optional[float] = None,
+) -> SchemeStats:
+    """Compute :class:`SchemeStats`; throughput is evaluated if omitted."""
+    from ..core.throughput import scheme_throughput
+
+    t = (
+        float(throughput)
+        if throughput is not None
+        else scheme_throughput(scheme, instance)
+    )
+    degrees = scheme.outdegrees()
+    senders = [d for d in degrees]
+    excess = 0
+    if t > 0:
+        for i in range(instance.num_nodes):
+            bound = safe_ceil_div(instance.bandwidth(i), t)
+            excess = max(excess, degrees[i] - bound)
+    total_rate = sum(rate for _, _, rate in scheme.edges())
+    total_bw = instance.total_bw
+    if scheme.is_acyclic():
+        depths = [d for d in scheme_depths(scheme) if d >= 0]
+        max_depth: Optional[int] = max(depths) if depths else 0
+        mean_depth: Optional[float] = (
+            sum(depths) / len(depths) if depths else 0.0
+        )
+    else:
+        max_depth = None
+        mean_depth = None
+    return SchemeStats(
+        num_edges=scheme.num_edges,
+        throughput=t,
+        max_outdegree=max(senders) if senders else 0,
+        mean_outdegree=sum(senders) / len(senders) if senders else 0.0,
+        max_degree_excess=excess,
+        bandwidth_utilization=total_rate / total_bw if total_bw > 0 else 0.0,
+        max_depth=max_depth,
+        mean_depth=mean_depth,
+    )
+
+
+def compare_stats(
+    instance: Instance,
+    schemes: dict[str, BroadcastScheme],
+) -> str:
+    """Side-by-side ASCII comparison of several overlays."""
+    from ..experiments.common import format_table
+
+    rows = []
+    for name, scheme in schemes.items():
+        stats = scheme_stats(instance, scheme)
+        rows.append([name, *stats.row()])
+    return format_table(
+        ["overlay", "throughput", "edges", "max deg", "deg excess",
+         "max depth", "bw util"],
+        rows,
+    )

@@ -1,0 +1,281 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure7  [--full]
+    python -m repro figure19 [--full]
+    python -m repro worstcase
+    python -m repro ablations
+    python -m repro solve --source 6 --open 5 5 --guarded 4 1 1
+    python -m repro demo
+
+``--full`` switches the sweeps to paper scale (equivalent to
+``REPRO_FULL=1``).  ``solve`` runs the whole pipeline on an ad-hoc
+instance and prints the overlay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Broadcasting on Large Scale Heterogeneous "
+            "Platforms under the Bounded Multi-Port Model' "
+            "(Beaumont et al., IPDPS 2010 / TPDS 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, doc in [
+        ("table1", "regenerate Table I (Algorithm 2 trace)"),
+        ("figure7", "regenerate Figure 7 (worst-case grid)"),
+        ("figure19", "regenerate Figure 19 (average-case sweep)"),
+        ("worstcase", "Figures 1/6/18, Theorems 6.1/6.3"),
+        ("ablations", "design-choice ablations incl. depth & churn"),
+        ("demo", "short guided demo on the Figure 1 instance"),
+    ]:
+        p = sub.add_parser(name, help=doc)
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help="run at paper scale (slow)",
+        )
+
+    solve = sub.add_parser(
+        "solve", help="optimize an ad-hoc instance and print the overlay"
+    )
+    solve.add_argument("--source", type=float, required=True,
+                       help="source outgoing bandwidth b0")
+    solve.add_argument("--open", type=float, nargs="*", default=[],
+                       dest="open_bws", metavar="BW",
+                       help="open-node bandwidths")
+    solve.add_argument("--guarded", type=float, nargs="*", default=[],
+                       dest="guarded_bws", metavar="BW",
+                       help="guarded-node bandwidths")
+    solve.add_argument("--rate", type=float, default=None,
+                       help="target rate (default: the acyclic optimum)")
+    solve.add_argument("--cyclic", action="store_true",
+                       help="build the Theorem 5.2 cyclic scheme "
+                            "(open-only instances)")
+    return parser
+
+
+def _cmd_table1() -> int:
+    from .experiments.table1 import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_figure7() -> int:
+    from .experiments.figure7 import Figure7Config, run_figure7
+    from .experiments.report import render_figure7
+
+    print(render_figure7(run_figure7(Figure7Config.from_env())))
+    return 0
+
+
+def _cmd_figure19() -> int:
+    from .experiments.figure19 import Figure19Config, run_figure19
+    from .experiments.report import render_figure19
+
+    print(render_figure19(run_figure19(Figure19Config.from_env())))
+    return 0
+
+
+def _cmd_worstcase() -> int:
+    from .experiments.report import (
+        render_figure1,
+        render_figure6,
+        render_figure18,
+        render_theorem61,
+        render_theorem63,
+    )
+    from .experiments.worstcase import (
+        figure1_report,
+        figure6_report,
+        figure18_report,
+        theorem61_report,
+        theorem63_report,
+    )
+
+    print(render_figure1(figure1_report()))
+    print()
+    print(render_figure6(figure6_report()))
+    print()
+    print(render_figure18(figure18_report()))
+    print()
+    print(render_theorem63(theorem63_report()))
+    print()
+    print(render_theorem61(theorem61_report()))
+    return 0
+
+
+def _cmd_ablations() -> int:
+    from .analysis import (
+        churn_experiment,
+        depth_ablation,
+        perturbation_experiment,
+    )
+    from .experiments.ablations import (
+        baseline_comparison,
+        cyclic_gain,
+        greedy_vs_exhaustive,
+        packing_degree_ablation,
+        source_sensitivity,
+    )
+    from .experiments.common import format_table
+    from .experiments.report import (
+        render_baselines,
+        render_cyclic_gain,
+        render_packing,
+    )
+
+    print(
+        "greedy vs exhaustive worst relative error: "
+        f"{greedy_vs_exhaustive():.2e}"
+    )
+    print()
+    print(render_packing(packing_degree_ablation()))
+    print()
+    print(render_baselines(baseline_comparison()))
+    print()
+    print(render_cyclic_gain(cyclic_gain()))
+    print()
+    rows = depth_ablation()
+    print("Depth ablation (FIFO vs min-depth packing, by rate back-off):")
+    print(
+        format_table(
+            ["n", "rate frac", "fifo depth", "min-depth depth",
+             "fifo excess", "min-depth excess"],
+            [
+                [r.size, r.rate_fraction, r.fifo_max_depth,
+                 r.depth_aware_max_depth, r.fifo_max_excess,
+                 r.depth_aware_max_excess]
+                for r in rows
+            ],
+        )
+    )
+    print()
+    print("Source-saturation sensitivity (b0 = factor * fixed point):")
+    print(
+        format_table(
+            ["factor", "mean ratio", "min ratio"],
+            [[r.source_factor, r.mean_ratio, r.min_ratio]
+             for r in source_sensitivity()],
+        )
+    )
+    print()
+    print("Bandwidth-perturbation robustness (graceful-degradation floor):")
+    print(
+        format_table(
+            ["eps", "planned", "worst delivered", "(1-eps) floor"],
+            [[r.eps, r.planned_rate, r.worst_delivered, r.graceful_floor]
+             for r in perturbation_experiment()],
+        )
+    )
+    print()
+    rep = churn_experiment()
+    print(
+        "Churn: failing the busiest relay mid-stream "
+        f"(forwarding {rep.failed_forwarding:.1f}) drops the worst "
+        f"survivor goodput from {rep.healthy_min_goodput:.1f} to "
+        f"{rep.churn_min_goodput:.1f} ({rep.starved_nodes} starved); "
+        f"static re-optimization restores rate {rep.repaired_rate:.1f} "
+        f"({100 * rep.repair_ratio:.0f}% of the original)."
+    )
+    return 0
+
+
+def _cmd_demo() -> int:
+    from . import (
+        acyclic_guarded_scheme,
+        cyclic_optimum,
+        figure1_instance,
+        optimal_acyclic_throughput,
+        scheme_throughput,
+    )
+
+    inst = figure1_instance()
+    print("Instance:", inst)
+    print("T* (Lemma 5.1)   :", cyclic_optimum(inst))
+    t, word = optimal_acyclic_throughput(inst)
+    print(f"T*_ac (Thm 4.1)  : {t:.6g}  word={word!r}")
+    sol = acyclic_guarded_scheme(inst)
+    print("overlay:")
+    print(sol.scheme.format_edges(inst))
+    print("throughput:", scheme_throughput(sol.scheme, inst))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from . import (
+        Instance,
+        acyclic_guarded_scheme,
+        cyclic_open_scheme,
+        cyclic_optimum,
+        optimal_acyclic_throughput,
+        scheme_throughput,
+    )
+    from .analysis import scheme_stats
+
+    inst = Instance(args.source, tuple(args.open_bws), tuple(args.guarded_bws))
+    print("Instance:", inst)
+    print("T* (Lemma 5.1):", cyclic_optimum(inst))
+    if args.cyclic:
+        if inst.m != 0:
+            print(
+                "error: --cyclic requires an open-only instance "
+                "(Theorem 5.2)",
+                file=sys.stderr,
+            )
+            return 2
+        scheme = cyclic_open_scheme(inst, args.rate)
+        rate = scheme_throughput(scheme, inst, method="maxflow")
+        print(f"Theorem 5.2 cyclic scheme at rate {rate:.6g}:")
+    else:
+        sol = acyclic_guarded_scheme(inst, args.rate)
+        scheme = sol.scheme
+        print(
+            f"Theorem 4.1 acyclic scheme at rate {sol.throughput:.6g} "
+            f"(word {sol.word!r}):"
+        )
+    print(scheme.format_edges(inst))
+    stats = scheme_stats(inst, scheme)
+    print(
+        f"edges={stats.num_edges} max_degree={stats.max_outdegree} "
+        f"degree_excess={stats.max_degree_excess} "
+        f"depth={stats.max_depth if stats.max_depth is not None else '-'}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "full", False):
+        os.environ["REPRO_FULL"] = "1"
+    dispatch = {
+        "table1": _cmd_table1,
+        "figure7": _cmd_figure7,
+        "figure19": _cmd_figure19,
+        "worstcase": _cmd_worstcase,
+        "ablations": _cmd_ablations,
+        "demo": _cmd_demo,
+    }
+    if args.command == "solve":
+        return _cmd_solve(args)
+    return dispatch[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

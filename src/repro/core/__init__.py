@@ -1,0 +1,107 @@
+"""Core model: instances, schemes, throughput, bounds, coding words."""
+
+from .bounds import (
+    FIVE_SEVENTHS,
+    THEOREM63_ALPHA,
+    THEOREM63_LIMIT,
+    acyclic_open_optimum,
+    cyclic_open_optimum,
+    cyclic_optimum,
+    f_alpha,
+    g_alpha,
+    open_only_ratio_bound,
+    theorem63_acyclic_upper_bound,
+)
+from .exact_words import (
+    exact_acyclic_optimum,
+    exact_cyclic_optimum,
+    exact_word_throughput,
+    exact_word_throughput_for,
+)
+from .exceptions import (
+    DecompositionError,
+    EstimationError,
+    InfeasibleThroughputError,
+    InvalidInstanceError,
+    InvalidSchemeError,
+    ReproError,
+)
+from .instance import SOURCE, Instance, NodeKind
+from .scheme import BroadcastScheme
+from .throughput import (
+    dag_throughput,
+    maxflow_throughput,
+    per_receiver_flows,
+    scheme_throughput,
+)
+from .word_catalog import (
+    best_omega_throughput,
+    best_omega_word,
+    omega1,
+    omega2,
+    proof_word,
+    proof_word_throughput,
+)
+from .words import (
+    GUARDED,
+    OPEN,
+    WordState,
+    all_words,
+    homogeneous_word_valid,
+    is_valid_word,
+    word_from_order,
+    word_throughput,
+    word_to_order,
+    word_trace,
+)
+
+__all__ = [
+    # instance / scheme / throughput
+    "Instance",
+    "NodeKind",
+    "SOURCE",
+    "BroadcastScheme",
+    "scheme_throughput",
+    "dag_throughput",
+    "maxflow_throughput",
+    "per_receiver_flows",
+    # bounds
+    "acyclic_open_optimum",
+    "cyclic_optimum",
+    "cyclic_open_optimum",
+    "open_only_ratio_bound",
+    "theorem63_acyclic_upper_bound",
+    "f_alpha",
+    "g_alpha",
+    "FIVE_SEVENTHS",
+    "THEOREM63_LIMIT",
+    "THEOREM63_ALPHA",
+    # words
+    "OPEN",
+    "GUARDED",
+    "WordState",
+    "word_trace",
+    "is_valid_word",
+    "word_throughput",
+    "word_to_order",
+    "word_from_order",
+    "all_words",
+    "homogeneous_word_valid",
+    "exact_word_throughput",
+    "exact_word_throughput_for",
+    "exact_acyclic_optimum",
+    "exact_cyclic_optimum",
+    "omega1",
+    "omega2",
+    "proof_word",
+    "best_omega_word",
+    "best_omega_throughput",
+    "proof_word_throughput",
+    # errors
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidSchemeError",
+    "InfeasibleThroughputError",
+    "DecompositionError",
+    "EstimationError",
+]

@@ -1,0 +1,240 @@
+"""Exact rational word throughputs (parametric Lemma 4.4 recursion).
+
+The float bisection of :func:`repro.core.words.word_throughput` computes
+``T*_ac(pi)`` to 1e-13 relative precision.  For a reproduction of a
+*theory* paper one sometimes wants the exact rational: Figure 18's ratio
+is exactly ``5/7``, the Figure 1 instance has ``T*_ac = 4``, and Theorem
+6.3's plateau is exactly ``37/40`` for the fraction ``alpha = 17/40``.
+This module computes such values exactly.
+
+Method: run the Lemma 4.4 recursion *parametrically in T* over
+``fractions.Fraction``.  The pools are piecewise-linear functions of the
+rate::
+
+    O(T) = O_a + O_b T        with O_b <= 0  (O is non-increasing in T)
+    G(T) = G_a + G_b T        with G_b <= 0
+
+maintained as a list of segments of a shrinking interval ``[0, T_max]``.
+
+* appending a guarded letter requires ``O(T) - T >= 0`` — an affine
+  function with slope ``O_b - 1 < 0``, so the constraint clips the
+  feasible region to a prefix interval; the update is
+  ``O' = O - T``, ``G' = G + b_next``;
+* appending an open letter first splits segments at the root of
+  ``G(T) - T`` (slope ``G_b - 1 < 0``: one crossing), applies the two
+  branches of ``max(0, T - G)``, and clips on ``O + G - T >= 0``.
+
+All constraint functions are continuous and strictly decreasing in ``T``
+across segment boundaries (this is the monotonicity that justifies the
+float bisection), so clipping always yields ``[0, T*]`` and the answer is
+the surviving region's right endpoint — an exact rational.
+
+The segment count grows by at most one per open letter, so the whole
+computation is ``O((n+m)^2)`` Fraction operations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .instance import Instance
+from .words import GUARDED, OPEN
+
+__all__ = [
+    "exact_word_throughput",
+    "exact_word_throughput_for",
+    "exact_acyclic_optimum",
+    "exact_cyclic_optimum",
+]
+
+
+def _to_fraction(value) -> Fraction:
+    """Exact conversion (floats are dyadic rationals, so this is lossless)."""
+    if isinstance(value, Fraction):
+        return value
+    return Fraction(value)
+
+
+class _Segment:
+    """One affine piece of the pools over ``[lo, hi]``."""
+
+    __slots__ = ("lo", "hi", "o_a", "o_b", "g_a", "g_b")
+
+    def __init__(self, lo, hi, o_a, o_b, g_a, g_b):
+        self.lo, self.hi = lo, hi
+        self.o_a, self.o_b = o_a, o_b
+        self.g_a, self.g_b = g_a, g_b
+
+    def clip_nonneg(self, a: Fraction, b: Fraction) -> "_Segment | None":
+        """Clip to where ``a + b T >= 0`` with ``b < 0`` (prefix interval)."""
+        if a + b * self.lo < 0:
+            return None
+        if a + b * self.hi >= 0:
+            return self
+        root = -a / b
+        return _Segment(self.lo, root, self.o_a, self.o_b, self.g_a, self.g_b)
+
+
+def exact_word_throughput(
+    source_bw,
+    open_bws: Sequence,
+    guarded_bws: Sequence,
+    word: str,
+) -> Fraction:
+    """Exact ``T*_ac(word)`` for rational bandwidths.
+
+    ``word`` must contain exactly ``len(open_bws)`` letters ``'o'`` and
+    ``len(guarded_bws)`` letters ``'g'``; bandwidth sequences must already
+    be sorted non-increasingly (as in :class:`Instance`).
+    """
+    b0 = _to_fraction(source_bw)
+    opens = [_to_fraction(b) for b in open_bws]
+    guardeds = [_to_fraction(b) for b in guarded_bws]
+    if word.count(OPEN) != len(opens) or word.count(GUARDED) != len(guardeds):
+        raise ValueError("word letter counts do not match the bandwidths")
+    if not word:
+        raise ValueError("need at least one receiver")
+
+    upper = exact_cyclic_optimum(b0, opens, guardeds)
+    if upper <= 0:
+        return Fraction(0)
+
+    zero = Fraction(0)
+    one = Fraction(1)
+    segments = [_Segment(zero, upper, b0, zero, zero, zero)]
+    i = j = 0
+    for letter in word:
+        new_segments: list[_Segment] = []
+        if letter == GUARDED:
+            bw = guardeds[j]
+            j += 1
+            for seg in segments:
+                # constraint O(T) - T >= 0 (slope o_b - 1 < 0)
+                clipped = seg.clip_nonneg(seg.o_a, seg.o_b - one)
+                if clipped is None:
+                    break  # constraints are globally decreasing: stop
+                new_segments.append(
+                    _Segment(
+                        clipped.lo,
+                        clipped.hi,
+                        clipped.o_a,
+                        clipped.o_b - one,  # O' = O - T
+                        clipped.g_a + bw,  # G' = G + bw
+                        clipped.g_b,
+                    )
+                )
+                if clipped.hi < seg.hi:
+                    break
+        else:
+            bw = opens[i]
+            i += 1
+            for seg in segments:
+                # constraint O + G - T >= 0 (slope o_b + g_b - 1 < 0)
+                clipped = seg.clip_nonneg(
+                    seg.o_a + seg.g_a, seg.o_b + seg.g_b - one
+                )
+                if clipped is None:
+                    break
+                # split where G(T) - T changes sign (slope g_b - 1 < 0:
+                # G >= T on the left part, G < T on the right part)
+                h_lo = clipped.g_a + (clipped.g_b - one) * clipped.lo
+                h_hi = clipped.g_a + (clipped.g_b - one) * clipped.hi
+                pieces: list[tuple[Fraction, Fraction, bool]] = []
+                if h_lo >= 0 and h_hi >= 0:
+                    pieces.append((clipped.lo, clipped.hi, True))
+                elif h_lo < 0:
+                    pieces.append((clipped.lo, clipped.hi, False))
+                else:
+                    root = -clipped.g_a / (clipped.g_b - one)
+                    pieces.append((clipped.lo, root, True))
+                    if root < clipped.hi:
+                        pieces.append((root, clipped.hi, False))
+                for lo, hi, g_covers in pieces:
+                    if g_covers:
+                        # G >= T: the guarded pool pays the full rate.
+                        new_segments.append(
+                            _Segment(
+                                lo,
+                                hi,
+                                clipped.o_a + bw,
+                                clipped.o_b,
+                                clipped.g_a,
+                                clipped.g_b - one,  # G' = G - T
+                            )
+                        )
+                    else:
+                        # G < T: open pool pays T - G, guarded drains.
+                        new_segments.append(
+                            _Segment(
+                                lo,
+                                hi,
+                                clipped.o_a + bw + clipped.g_a,
+                                clipped.o_b + clipped.g_b - one,
+                                zero,
+                                zero,
+                            )
+                        )
+                if clipped.hi < seg.hi:
+                    break
+        if not new_segments:
+            return Fraction(0)
+        segments = new_segments
+    return segments[-1].hi
+
+
+def exact_cyclic_optimum(
+    source_bw, open_bws: Iterable, guarded_bws: Iterable
+) -> Fraction:
+    """Lemma 5.1's closed form over exact rationals."""
+    b0 = _to_fraction(source_bw)
+    opens = [_to_fraction(b) for b in open_bws]
+    guardeds = [_to_fraction(b) for b in guarded_bws]
+    n, m = len(opens), len(guardeds)
+    if n + m == 0:
+        raise ValueError("need at least one receiver")
+    o_sum = sum(opens, Fraction(0))
+    g_sum = sum(guardeds, Fraction(0))
+    best = min(b0, Fraction(b0 + o_sum + g_sum, n + m))
+    if m > 0:
+        best = min(best, Fraction(b0 + o_sum, m))
+    return best
+
+
+def exact_word_throughput_for(instance: Instance, word: str) -> Fraction:
+    """Exact ``T*_ac(word)`` for an :class:`Instance` (floats are exact
+    dyadic rationals, so no precision is lost in the conversion)."""
+    return exact_word_throughput(
+        instance.source_bw, instance.open_bws, instance.guarded_bws, word
+    )
+
+
+def exact_acyclic_optimum(
+    source_bw,
+    open_bws: Sequence,
+    guarded_bws: Sequence,
+    *,
+    max_receivers: int = 12,
+) -> tuple[Fraction, str]:
+    """Exact ``T*_ac`` by maximizing over every coding word.
+
+    Exponential (``C(n+m, m)`` words); guarded by ``max_receivers``.
+    Returns ``(T*_ac, argmax word)``.
+    """
+    from .words import all_words
+
+    n, m = len(open_bws), len(guarded_bws)
+    if n + m == 0:
+        raise ValueError("need at least one receiver")
+    if n + m > max_receivers:
+        raise ValueError(
+            f"{n + m} receivers exceed the exact-search limit {max_receivers}"
+        )
+    best: Fraction | None = None
+    best_word = ""
+    for word in all_words(n, m):
+        t = exact_word_throughput(source_bw, open_bws, guarded_bws, word)
+        if best is None or t > best:
+            best, best_word = t, word
+    assert best is not None
+    return best, best_word

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything coming out of the reproduction code with a single
+``except`` clause while still letting genuine programming errors
+(``TypeError``, ``ValueError`` raised by numpy, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An :class:`~repro.core.instance.Instance` violates a model invariant.
+
+    Raised for negative bandwidths, NaN/inf bandwidths, or malformed node
+    classifications.
+    """
+
+
+class InvalidSchemeError(ReproError):
+    """A broadcast scheme violates a model constraint.
+
+    Covers negative rates, bandwidth-constraint violations
+    (``sum_j c_ij > b_i``), firewall violations (guarded -> guarded edges),
+    self-loops and edges out of range.
+    """
+
+
+class InfeasibleThroughputError(ReproError):
+    """A construction was asked for a throughput above the feasible optimum.
+
+    Raised by scheme builders (Algorithm 1, Algorithm 2-based packing, the
+    cyclic construction of Theorem 5.2) when the requested target rate
+    exceeds the relevant upper bound for the instance.
+    """
+
+
+class DecompositionError(ReproError):
+    """Broadcast-tree decomposition failed.
+
+    The greedy arborescence extraction of :mod:`repro.flows.arborescence`
+    only guarantees success for acyclic schemes in which every non-source
+    node receives at exactly the scheme rate; this error signals a scheme
+    outside that class (or a numerically degenerate one).
+    """
+
+
+class EstimationError(ReproError):
+    """Last-mile parameter estimation could not produce a usable model."""

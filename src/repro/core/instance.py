@@ -1,0 +1,307 @@
+"""Problem instances for the bounded multi-port broadcast problem.
+
+An instance (paper, Section II-D) is given by
+
+* the source node ``C0`` with outgoing bandwidth ``b0`` (the source is an
+  *open* node),
+* ``n`` open nodes ``C1..Cn`` with outgoing bandwidths ``b1..bn``,
+* ``m`` guarded nodes ``C_{n+1}..C_{n+m}`` with outgoing bandwidths
+  ``b_{n+1}..b_{n+m}``.
+
+Open nodes live in the open Internet and may exchange data with anyone;
+guarded nodes sit behind NATs/firewalls and may only exchange data with open
+nodes (the *firewall constraint*: no guarded -> guarded edge).  Incoming
+bandwidths are assumed unbounded.
+
+Following the paper's convention (Section III-B and Section IV-A, the
+*increasing order* dominance of Lemma 4.2), instances are kept in canonical
+form: open bandwidths sorted non-increasingly, guarded bandwidths sorted
+non-increasingly.  All algorithms in :mod:`repro.algorithms` rely on this
+invariant.  :meth:`Instance.from_unsorted` records the permutation so that
+schemes computed on the canonical instance can be mapped back to the
+caller's original node identifiers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .exceptions import InvalidInstanceError
+
+__all__ = ["Instance", "SOURCE", "NodeKind"]
+
+#: Index of the source node in every instance.
+SOURCE: int = 0
+
+
+class NodeKind:
+    """Symbolic node-class constants (also used by coding words)."""
+
+    OPEN = "open"
+    GUARDED = "guarded"
+
+
+def _check_bandwidths(values: Sequence[float], what: str) -> tuple[float, ...]:
+    out = []
+    for v in values:
+        f = float(v)
+        if not math.isfinite(f):
+            raise InvalidInstanceError(f"{what} bandwidth must be finite, got {v!r}")
+        if f < 0:
+            raise InvalidInstanceError(f"{what} bandwidth must be >= 0, got {v!r}")
+        out.append(f)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A broadcast-problem instance in canonical (class-wise sorted) form.
+
+    Parameters
+    ----------
+    source_bw:
+        Outgoing bandwidth ``b0`` of the source.
+    open_bws:
+        Outgoing bandwidths of the ``n`` open receivers.  Stored sorted
+        non-increasingly.
+    guarded_bws:
+        Outgoing bandwidths of the ``m`` guarded receivers.  Stored sorted
+        non-increasingly.
+
+    Notes
+    -----
+    Node ``i`` for ``i in 1..n`` is the open node with the ``i``-th largest
+    open bandwidth; node ``n+j`` for ``j in 1..m`` is the guarded node with
+    the ``j``-th largest guarded bandwidth, exactly matching the paper's
+    indexing.
+    """
+
+    source_bw: float
+    open_bws: tuple[float, ...] = field(default_factory=tuple)
+    guarded_bws: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "source_bw", _check_bandwidths([self.source_bw], "source")[0]
+        )
+        opens = _check_bandwidths(self.open_bws, "open")
+        guarded = _check_bandwidths(self.guarded_bws, "guarded")
+        object.__setattr__(self, "open_bws", tuple(sorted(opens, reverse=True)))
+        object.__setattr__(self, "guarded_bws", tuple(sorted(guarded, reverse=True)))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_unsorted(
+        cls,
+        source_bw: float,
+        open_bws: Sequence[float],
+        guarded_bws: Sequence[float],
+    ) -> tuple["Instance", list[int]]:
+        """Build a canonical instance and return the node permutation.
+
+        Returns ``(instance, perm)`` where ``perm[k]`` is the *original*
+        index (0-based position in the caller's concatenated
+        ``[source] + open + guarded`` list) of canonical node ``k``.
+        """
+        inst = cls(source_bw, tuple(open_bws), tuple(guarded_bws))
+        open_order = sorted(
+            range(len(open_bws)), key=lambda i: -float(open_bws[i])
+        )
+        guarded_order = sorted(
+            range(len(guarded_bws)), key=lambda i: -float(guarded_bws[i])
+        )
+        n = len(open_bws)
+        perm = [0]
+        perm.extend(1 + i for i in open_order)
+        perm.extend(1 + n + i for i in guarded_order)
+        return inst, perm
+
+    @classmethod
+    def open_only(cls, source_bw: float, open_bws: Sequence[float]) -> "Instance":
+        """Convenience constructor for instances without guarded nodes."""
+        return cls(source_bw, tuple(open_bws), ())
+
+    # ------------------------------------------------------------------
+    # Sizes and indexing
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of open receivers (source excluded)."""
+        return len(self.open_bws)
+
+    @property
+    def m(self) -> int:
+        """Number of guarded receivers."""
+        return len(self.guarded_bws)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the source (``n + m + 1``)."""
+        return self.n + self.m + 1
+
+    @property
+    def num_receivers(self) -> int:
+        """Number of nodes that must receive the message (``n + m``)."""
+        return self.n + self.m
+
+    def bandwidth(self, i: int) -> float:
+        """Outgoing bandwidth ``b_i`` of node ``i`` (paper indexing)."""
+        if i == SOURCE:
+            return self.source_bw
+        if 1 <= i <= self.n:
+            return self.open_bws[i - 1]
+        if self.n < i <= self.n + self.m:
+            return self.guarded_bws[i - self.n - 1]
+        raise IndexError(f"node index {i} out of range for {self!r}")
+
+    def bandwidths(self) -> list[float]:
+        """All bandwidths ``[b0, b1, ..., b_{n+m}]`` in paper order."""
+        return [self.source_bw, *self.open_bws, *self.guarded_bws]
+
+    def is_open(self, i: int) -> bool:
+        """True for the source and open receivers."""
+        if not 0 <= i <= self.n + self.m:
+            raise IndexError(f"node index {i} out of range for {self!r}")
+        return i <= self.n
+
+    def is_guarded(self, i: int) -> bool:
+        """True for guarded receivers."""
+        return not self.is_open(i)
+
+    def kind(self, i: int) -> str:
+        """Node class: :data:`NodeKind.OPEN` or :data:`NodeKind.GUARDED`."""
+        return NodeKind.OPEN if self.is_open(i) else NodeKind.GUARDED
+
+    def open_nodes(self) -> range:
+        """Indices of the open receivers (source excluded)."""
+        return range(1, self.n + 1)
+
+    def guarded_nodes(self) -> range:
+        """Indices of the guarded receivers."""
+        return range(self.n + 1, self.n + self.m + 1)
+
+    def receivers(self) -> range:
+        """Indices of all nodes that must receive the message."""
+        return range(1, self.n + self.m + 1)
+
+    def can_send(self, i: int, j: int) -> bool:
+        """Whether edge ``i -> j`` is allowed by the firewall constraint."""
+        if i == j:
+            return False
+        return self.is_open(i) or self.is_open(j)
+
+    # ------------------------------------------------------------------
+    # Aggregates used throughout the paper
+    # ------------------------------------------------------------------
+    @property
+    def open_sum(self) -> float:
+        """``O = sum_{i=1..n} b_i`` (Lemma 5.1)."""
+        return math.fsum(self.open_bws)
+
+    @property
+    def guarded_sum(self) -> float:
+        """``G = sum_{i=n+1..n+m} b_i`` (Lemma 5.1)."""
+        return math.fsum(self.guarded_bws)
+
+    @property
+    def total_bw(self) -> float:
+        """``b0 + O + G``."""
+        return math.fsum([self.source_bw, self.open_sum, self.guarded_sum])
+
+    def prefix_sum(self, k: int) -> float:
+        """``S_k = b0 + b1 + ... + b_k`` over [source] + open nodes.
+
+        Defined (as in Section III-B) for ``0 <= k <= n``; ``S_{-1} = 0`` is
+        accepted for convenience in loop bounds.
+        """
+        if k < -1 or k > self.n:
+            raise IndexError(f"prefix index {k} out of range (n={self.n})")
+        if k == -1:
+            return 0.0
+        return math.fsum([self.source_bw, *self.open_bws[:k]])
+
+    def prefix_sums(self) -> list[float]:
+        """All ``S_0..S_n`` (compensated running sums)."""
+        sums = []
+        total = self.source_bw
+        sums.append(total)
+        comp = 0.0
+        for b in self.open_bws:
+            y = b - comp
+            t = total + y
+            comp = (t - total) - y
+            total = t
+            sums.append(total)
+        return sums
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def all_open(self) -> "Instance":
+        """The relaxation obtained by declaring every node open.
+
+        Used in ablations: dropping the firewall constraint can only
+        increase achievable throughput.
+        """
+        return Instance(self.source_bw, self.open_bws + self.guarded_bws, ())
+
+    def with_source_bw(self, b0: float) -> "Instance":
+        """Copy of this instance with the source bandwidth replaced."""
+        return Instance(b0, self.open_bws, self.guarded_bws)
+
+    def scaled(self, factor: float) -> "Instance":
+        """Instance with every bandwidth multiplied by ``factor`` (>0).
+
+        Throughputs scale linearly with bandwidth, so ratios such as
+        ``T*_ac / T*`` are invariant under this map; tests use it as a
+        property check.
+        """
+        if not (factor > 0 and math.isfinite(factor)):
+            raise InvalidInstanceError(f"scale factor must be positive, got {factor}")
+        return Instance(
+            self.source_bw * factor,
+            tuple(b * factor for b in self.open_bws),
+            tuple(b * factor for b in self.guarded_bws),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (experiments persist sampled instances for replay)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "source_bw": self.source_bw,
+            "open_bws": list(self.open_bws),
+            "guarded_bws": list(self.guarded_bws),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instance":
+        return cls(
+            data["source_bw"], tuple(data["open_bws"]), tuple(data["guarded_bws"])
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Instance":
+        return cls.from_dict(json.loads(payload))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def _fmt(seq: Iterable[float]) -> str:
+            items = list(seq)
+            if len(items) > 6:
+                head = ", ".join(f"{x:g}" for x in items[:3])
+                return f"({head}, ... {len(items)} values)"
+            return "(" + ", ".join(f"{x:g}" for x in items) + ")"
+
+        return (
+            f"Instance(b0={self.source_bw:g}, open={_fmt(self.open_bws)}, "
+            f"guarded={_fmt(self.guarded_bws)})"
+        )

@@ -1,0 +1,124 @@
+"""Named coding words from the paper's worst-case analysis (Section VI).
+
+Theorem 6.2's proof exhibits two balanced interleavings of open and guarded
+letters and shows that at least one of them always achieves throughput
+``5/7 T*``:
+
+* ``omega1(n, m)`` — one open letter, then its fair share of guarded
+  letters: ``o g^{a_1} o g^{a_2} ... o g^{a_n}`` with
+  ``a_i = floor(i m / n) - floor((i-1) m / n)``;
+* ``omega2(n, m)`` — one guarded letter, then its fair share of open
+  letters: ``g o^{b_1} g o^{b_2} ... g o^{b_m}`` with
+  ``b_i = ceil(i n / m) - ceil((i-1) n / m)``.
+
+For ``n = m`` these degenerate to the alternating words ``(og)^n`` and
+``(go)^n`` (cf. Lemma 11.5).  The *proof word* is the one the case analysis
+of Theorem 6.2 actually uses: ``omega1`` when the homogenized open
+bandwidth is at least ``T*``, otherwise ``omega2``; Figure 19's red curves
+plot its throughput.
+
+All three are cheap O(n + m) constructions, which is why the paper
+highlights them as practical: once nodes are sorted by bandwidth, a
+distributed system can build these overlays with no further optimization.
+"""
+
+from __future__ import annotations
+
+from .bounds import cyclic_optimum
+from .instance import Instance
+from .words import GUARDED, OPEN, word_throughput
+
+__all__ = [
+    "omega1",
+    "omega2",
+    "proof_word",
+    "best_omega_word",
+    "best_omega_throughput",
+    "proof_word_throughput",
+]
+
+
+def omega1(n: int, m: int) -> str:
+    """The word ``o g^{a_1} o g^{a_2} ... o g^{a_n}`` of Theorem 6.2.
+
+    Guarded letters are spread as evenly as possible *after* open letters,
+    so every guarded node is fed by the open bandwidth accumulated before
+    it.  ``a_i = floor(i m / n) - floor((i-1) m / n)`` sums to ``m``.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("negative node counts")
+    if n == 0:
+        return GUARDED * m
+    parts = []
+    prev = 0
+    for i in range(1, n + 1):
+        cur = (i * m) // n
+        parts.append(OPEN + GUARDED * (cur - prev))
+        prev = cur
+    return "".join(parts)
+
+
+def omega2(n: int, m: int) -> str:
+    """The word ``g o^{b_1} g o^{b_2} ... g o^{b_m}`` of Theorem 6.2.
+
+    Open letters are spread as evenly as possible after guarded letters,
+    front-loading guarded upload capacity.
+    ``b_i = ceil(i n / m) - ceil((i-1) n / m)`` sums to ``n``.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("negative node counts")
+    if m == 0:
+        return OPEN * n
+    parts = []
+    prev = 0
+    for i in range(1, m + 1):
+        cur = -((-i * n) // m)  # ceil(i*n/m) with integer arithmetic
+        parts.append(GUARDED + OPEN * (cur - prev))
+        prev = cur
+    return "".join(parts)
+
+
+def proof_word(instance: Instance) -> str:
+    """The word used by the case analysis proving Theorem 6.2.
+
+    The proof reduces any instance to a tight homogeneous one
+    (Lemma 11.1) with open bandwidth ``o = (O + b0 - T*) / n`` (each of the
+    ``n`` open nodes takes an equal share of the open bandwidth left after
+    the source's own injection) and then shows statement (5): if
+    ``o >= T*`` the word ``omega1`` achieves ``5/7``, otherwise ``omega2``
+    does.  We apply the same selection rule to the (possibly heterogeneous)
+    input instance; Figure 19's red curves measure how much this
+    no-search heuristic loses against picking the better of the two.
+    """
+    n, m = instance.n, instance.m
+    if n == 0:
+        return omega1(n, m)  # == omega2 == 'g'*m
+    t_star = cyclic_optimum(instance)
+    if t_star == float("inf"):
+        return omega1(n, m)
+    o_hom = (instance.open_sum + instance.source_bw - t_star) / n
+    return omega1(n, m) if o_hom >= t_star else omega2(n, m)
+
+
+def best_omega_word(instance: Instance) -> tuple[str, float]:
+    """The better of ``omega1``/``omega2`` with its throughput.
+
+    Figure 19's blue curves: ``max(T*_ac(omega1), T*_ac(omega2))``.
+    """
+    w1 = omega1(instance.n, instance.m)
+    w2 = omega2(instance.n, instance.m)
+    t1 = word_throughput(instance, w1)
+    if w2 == w1:
+        return w1, t1
+    t2 = word_throughput(instance, w2)
+    return (w1, t1) if t1 >= t2 else (w2, t2)
+
+
+def best_omega_throughput(instance: Instance) -> float:
+    """``max(T*_ac(omega1), T*_ac(omega2))`` (Figure 19, blue curves)."""
+    return best_omega_word(instance)[1]
+
+
+def proof_word_throughput(instance: Instance) -> float:
+    """``T*_ac(proof word)`` (Figure 19, red curves)."""
+    return word_throughput(instance, proof_word(instance))

@@ -1,0 +1,342 @@
+"""Coding words and the O/G/W bookkeeping of Section IV.
+
+An *increasing order* on the nodes (open nodes kept in non-increasing
+bandwidth order, guarded nodes likewise — Lemma 4.2 shows such orders are
+dominant) is encoded by a binary word ``pi`` with ``n`` letters "open" and
+``m`` letters "guarded": the ``k``-th letter says which class the node at
+position ``k`` belongs to.  We write words as Python strings over the
+alphabet ``'o'`` (the paper's "circle") and ``'g'`` (the paper's "square").
+
+For a *conservative* partial solution (Lemma 4.3: feed open nodes from
+guarded bandwidth whenever possible), the residual resources after serving
+the prefix ``pi`` at rate ``T`` depend only on ``pi`` (Lemma 4.4):
+
+* ``O(pi)`` — available open upload bandwidth,
+* ``G(pi)`` — available guarded upload bandwidth,
+* ``W(pi)`` — total open->open transfer spent so far,
+
+with the recursion (``i = |pi|_o``, ``j = |pi|_g`` before the new letter)::
+
+    O(eps) = b0                G(eps) = 0                 W(eps) = 0
+    O(pi g) = O(pi) - T        G(pi g) = G(pi) + b_{n+j+1}
+    W(pi g) = W(pi)
+    O(pi o) = O(pi) + b_{i+1} - max(0, T - G(pi))
+    G(pi o) = max(0, G(pi) - T)
+    W(pi o) = W(pi) + max(0, T - G(pi))
+
+A complete word is *valid for throughput* ``T`` iff each appended guarded
+node finds ``O >= T`` (guarded nodes are fed by open bandwidth only) and
+each appended open node finds ``O + G >= T``.  The optimal acyclic
+throughput of the order encoded by ``pi`` is the largest valid ``T``
+(validity is monotone in ``T``), obtained here by bisection; it is
+cross-checked against an LP on the same order in
+:mod:`repro.algorithms.exact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from .bounds import cyclic_optimum
+from .instance import Instance
+
+__all__ = [
+    "OPEN",
+    "GUARDED",
+    "WordState",
+    "check_word_shape",
+    "word_states",
+    "word_trace",
+    "is_valid_word",
+    "word_throughput",
+    "word_to_order",
+    "word_from_order",
+    "all_words",
+    "homogeneous_word_valid",
+]
+
+#: Letter for an open node (the paper's white circle).
+OPEN = "o"
+#: Letter for a guarded node (the paper's black square).
+GUARDED = "g"
+
+#: Default relative precision of the throughput bisection.
+BISECT_REL_TOL = 1e-13
+#: Bisection iteration cap (enough for 1e-13 relative precision).
+BISECT_MAX_ITER = 200
+
+
+@dataclass(frozen=True)
+class WordState:
+    """Residual pools after serving a prefix at rate ``T`` (Lemma 4.4)."""
+
+    open_avail: float  #: O(pi)
+    guarded_avail: float  #: G(pi)
+    open_to_open: float  #: W(pi)
+    opens_used: int  #: i = |pi|_o
+    guardeds_used: int  #: j = |pi|_g
+
+    @property
+    def total_avail(self) -> float:
+        """``O(pi) + G(pi)`` — the pool available to a new open node."""
+        return self.open_avail + self.guarded_avail
+
+    def __iter__(self):  # convenient tuple-unpacking in tests
+        yield self.open_avail
+        yield self.guarded_avail
+        yield self.open_to_open
+
+
+def check_word_shape(instance: Instance, word: str, *, complete: bool = True) -> None:
+    """Validate alphabet and letter counts of ``word`` against ``instance``."""
+    n_o = word.count(OPEN)
+    n_g = word.count(GUARDED)
+    if n_o + n_g != len(word):
+        bad = set(word) - {OPEN, GUARDED}
+        raise ValueError(f"word contains letters outside '{OPEN}{GUARDED}': {bad}")
+    if complete:
+        if n_o != instance.n or n_g != instance.m:
+            raise ValueError(
+                f"complete word needs {instance.n} opens / {instance.m} "
+                f"guardeds, got {n_o} / {n_g}"
+            )
+    else:
+        if n_o > instance.n or n_g > instance.m:
+            raise ValueError(
+                f"word uses more nodes than the instance has "
+                f"({n_o}/{instance.n} opens, {n_g}/{instance.m} guardeds)"
+            )
+
+
+def initial_state(instance: Instance) -> WordState:
+    """``O(eps) = b0``, ``G(eps) = 0``, ``W(eps) = 0``."""
+    return WordState(instance.source_bw, 0.0, 0.0, 0, 0)
+
+
+def step_state(
+    state: WordState, letter: str, instance: Instance, throughput: float
+) -> WordState:
+    """Apply one letter of the Lemma 4.4 recursion (no validity check)."""
+    if letter == GUARDED:
+        j = state.guardeds_used
+        if j >= instance.m:
+            raise ValueError("word uses more guarded nodes than available")
+        new_bw = instance.guarded_bws[j]
+        return WordState(
+            state.open_avail - throughput,
+            state.guarded_avail + new_bw,
+            state.open_to_open,
+            state.opens_used,
+            j + 1,
+        )
+    if letter == OPEN:
+        i = state.opens_used
+        if i >= instance.n:
+            raise ValueError("word uses more open nodes than available")
+        new_bw = instance.open_bws[i]
+        from_open = max(0.0, throughput - state.guarded_avail)
+        return WordState(
+            state.open_avail + new_bw - from_open,
+            max(0.0, state.guarded_avail - throughput),
+            state.open_to_open + from_open,
+            i + 1,
+            state.guardeds_used,
+        )
+    raise ValueError(f"unknown letter {letter!r}")
+
+
+def word_states(
+    instance: Instance, word: str, throughput: float
+) -> Iterator[WordState]:
+    """Yield the state *after* each prefix of ``word`` (first: empty prefix)."""
+    state = initial_state(instance)
+    yield state
+    for letter in word:
+        state = step_state(state, letter, instance, throughput)
+        yield state
+
+
+def word_trace(
+    instance: Instance, word: str, throughput: float
+) -> list[WordState]:
+    """Full Lemma 4.4 trace as a list (``len(word) + 1`` states)."""
+    check_word_shape(instance, word, complete=False)
+    return list(word_states(instance, word, throughput))
+
+
+def is_valid_word(
+    instance: Instance,
+    word: str,
+    throughput: float,
+    *,
+    slack: float = 0.0,
+    complete: bool = True,
+) -> bool:
+    """Whether ``word`` is valid for rate ``throughput`` (Section IV-A).
+
+    Each appended guarded node requires ``O(pi) >= T`` (it can only be fed
+    from open bandwidth) and each appended open node requires
+    ``O(pi) + G(pi) >= T``.  ``slack`` loosens the comparisons by an
+    absolute amount (useful when testing validity at an optimum computed by
+    bisection); the default 0.0 keeps the oracle exact, which is what the
+    bisection itself requires.
+    """
+    check_word_shape(instance, word, complete=complete)
+    if throughput <= 0.0:
+        return True
+    state = initial_state(instance)
+    for letter in word:
+        if letter == GUARDED:
+            if state.open_avail < throughput - slack:
+                return False
+        else:
+            if state.total_avail < throughput - slack:
+                return False
+        state = step_state(state, letter, instance, throughput)
+    return True
+
+
+def word_throughput(
+    instance: Instance,
+    word: str,
+    *,
+    upper: Optional[float] = None,
+    rel_tol: float = BISECT_REL_TOL,
+) -> float:
+    """``T*_ac(pi)``: largest rate for which ``word`` is valid (bisection).
+
+    Monotonicity (higher rate is harder: ``O``/``G`` are non-increasing and
+    the thresholds increasing in ``T``) makes the feasible set an interval
+    ``[0, T*_ac(pi)]``; bisection converges to relative width ``rel_tol``.
+    The returned value is always a *feasible* rate (the lower bracket).
+    """
+    check_word_shape(instance, word, complete=True)
+    if len(word) == 0:
+        return float("inf")
+    hi = upper if upper is not None else cyclic_optimum(instance)
+    if hi == float("inf"):  # no receivers handled above; defensive
+        return float("inf")
+    if is_valid_word(instance, word, hi):
+        return hi
+    lo = 0.0
+    for _ in range(BISECT_MAX_ITER):
+        if hi - lo <= rel_tol * max(hi, 1e-300):
+            break
+        mid = 0.5 * (lo + hi)
+        if is_valid_word(instance, word, mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def word_to_order(instance: Instance, word: str) -> list[int]:
+    """Node order (source first) encoded by ``word``.
+
+    Example: on the Figure 1 instance (n=2, m=3) the word ``"googg"``
+    (the paper's "square circle circle square square") encodes the order
+    ``0 3 1 2 4 5``: source, largest guarded node, the two open nodes, the
+    two remaining guarded nodes.
+    """
+    check_word_shape(instance, word, complete=False)
+    order = [0]
+    next_open, next_guarded = 1, instance.n + 1
+    for letter in word:
+        if letter == OPEN:
+            order.append(next_open)
+            next_open += 1
+        else:
+            order.append(next_guarded)
+            next_guarded += 1
+    return order
+
+
+def word_from_order(instance: Instance, order: Sequence[int]) -> str:
+    """Inverse of :func:`word_to_order`; raises if the order is not increasing.
+
+    ``order`` must start with the source and list open (resp. guarded)
+    nodes in increasing index order — i.e. non-increasing bandwidth order,
+    the dominant class of orders per Lemma 4.2.
+    """
+    if len(order) != instance.num_nodes or order[0] != 0:
+        raise ValueError("order must start at the source and cover all nodes")
+    letters = []
+    next_open, next_guarded = 1, instance.n + 1
+    for idx in order[1:]:
+        if idx == next_open and next_open <= instance.n:
+            letters.append(OPEN)
+            next_open += 1
+        elif idx == next_guarded and next_guarded <= instance.n + instance.m:
+            letters.append(GUARDED)
+            next_guarded += 1
+        else:
+            raise ValueError(
+                f"order is not increasing: unexpected node {idx} "
+                f"(expected {next_open} or {next_guarded})"
+            )
+    return "".join(letters)
+
+
+def all_words(n: int, m: int) -> Iterator[str]:
+    """Enumerate every word with ``n`` opens and ``m`` guardeds.
+
+    There are ``C(n+m, m)`` of them; intended for exhaustive search on
+    small instances (cross-validation of Algorithm 2).
+    """
+    if n < 0 or m < 0:
+        raise ValueError("negative letter counts")
+
+    def rec(no: int, ng: int) -> Iterator[str]:
+        if no == 0 and ng == 0:
+            yield ""
+            return
+        if no > 0:
+            for tail in rec(no - 1, ng):
+                yield OPEN + tail
+        if ng > 0:
+            for tail in rec(no, ng - 1):
+                yield GUARDED + tail
+
+    return rec(n, m)
+
+
+def homogeneous_word_valid(
+    b0: float, o: float, g: float, word: str, throughput: float
+) -> bool:
+    """Validity test via the closed forms of Lemma 4.4 / Lemma 11.2.
+
+    For a homogeneous instance (all open nodes at bandwidth ``o``, all
+    guarded at ``g``), the residual pools have the closed forms (paper,
+    equations (1)-(2) specialized)::
+
+        W(pi) = max(0, max over prefixes rho = pi' o  of pi of
+                        |rho|_o * T - g * |pi'|_g)
+        O(pi) = b0 + o * |pi|_o - T * |pi|_g - W(pi)
+        O(pi) + G(pi) = b0 + o*|pi|_o + g*|pi|_g - T*|pi|
+
+    and ``word`` is valid for ``T`` iff every guarded letter is appended
+    with ``O >= T`` and every open letter with ``O + G >= T``.
+
+    This oracle never runs the step recursion, so property tests can check
+    it against :func:`is_valid_word` on random homogeneous instances.
+    """
+    if throughput <= 0.0:
+        return True
+    w_running = 0.0  # W(prefix) maintained incrementally
+    i = j = 0  # opens / guardeds in the prefix so far
+    for letter in word:
+        if letter == GUARDED:
+            open_avail = b0 + o * i - (j + 1) * throughput - w_running
+            # O(prefix) >= T  <=>  O(prefix) - T >= 0, with the -T folded
+            # into the (j + 1) factor above.
+            if open_avail < 0.0:
+                return False
+            j += 1
+        else:
+            total_avail = b0 + o * i + g * j - (i + j) * throughput
+            if total_avail < throughput:
+                return False
+            i += 1
+            w_running = max(w_running, i * throughput - g * j)
+    return True

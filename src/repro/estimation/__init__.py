@@ -1,0 +1,16 @@
+"""Bedibe-style LastMile model instantiation from pairwise measurements."""
+
+from .lastmile import LastMileEstimate, estimate_lastmile
+from .measurements import (
+    LastMileGroundTruth,
+    Measurement,
+    sample_measurements,
+)
+
+__all__ = [
+    "LastMileGroundTruth",
+    "Measurement",
+    "sample_measurements",
+    "estimate_lastmile",
+    "LastMileEstimate",
+]

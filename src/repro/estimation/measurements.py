@@ -1,0 +1,97 @@
+"""Synthetic point-to-point bandwidth measurements (LastMile ground truth).
+
+Section II-C: the paper's pipeline instantiates the LastMile model from
+"a reasonable size of point-to-point measurements" using the Bedibe tool
+[14].  Bedibe itself consumes measured pairwise available bandwidths; to
+exercise the same code path offline we generate those measurements from a
+known ground truth:
+
+* every node has an outgoing limit ``b_out`` and an incoming limit
+  ``b_in`` (the LastMile / bounded multi-port model);
+* the measured bandwidth of a pair ``(i, j)`` is
+  ``min(b_out_i, b_in_j)`` times a multiplicative log-normal noise term
+  (TCP measurement jitter);
+* only a sparse random subset of pairs is measured (``pairs_per_node``),
+  as in real deployments where full N^2 probing is too expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LastMileGroundTruth", "Measurement", "sample_measurements"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One directed bandwidth probe ``source -> target``."""
+
+    source: int
+    target: int
+    value: float
+
+
+@dataclass(frozen=True)
+class LastMileGroundTruth:
+    """True per-node LastMile parameters."""
+
+    b_out: tuple[float, ...]
+    b_in: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.b_out) != len(self.b_in):
+            raise ValueError("b_out and b_in must have the same length")
+        if any(v < 0 for v in self.b_out) or any(v < 0 for v in self.b_in):
+            raise ValueError("bandwidth limits must be non-negative")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.b_out)
+
+    def pair_bandwidth(self, i: int, j: int) -> float:
+        """Noise-free achievable bandwidth of the pair (LastMile model)."""
+        return min(self.b_out[i], self.b_in[j])
+
+    @classmethod
+    def symmetric(cls, b_out: Sequence[float], headroom: float = 4.0):
+        """Ground truth where ``b_in = headroom * b_out``.
+
+        Models the common asymmetric-access case (DSL/cable): download
+        capacity comfortably above upload, so that pair bandwidths are
+        mostly sender-limited — the regime in which the paper's
+        "outgoing bandwidth only" instance model is accurate.
+        """
+        return cls(
+            tuple(float(b) for b in b_out),
+            tuple(float(b) * headroom for b in b_out),
+        )
+
+
+def sample_measurements(
+    rng: np.random.Generator,
+    truth: LastMileGroundTruth,
+    pairs_per_node: int = 8,
+    noise_sigma: float = 0.1,
+) -> list[Measurement]:
+    """Probe a sparse random subset of ordered pairs.
+
+    Each node probes ``pairs_per_node`` distinct random targets; the
+    reported value is the LastMile pair bandwidth with multiplicative
+    log-normal noise ``exp(N(0, noise_sigma^2))``.
+    """
+    num = truth.num_nodes
+    if num < 2:
+        raise ValueError("need at least two nodes to measure pairs")
+    k = min(pairs_per_node, num - 1)
+    measurements: list[Measurement] = []
+    for i in range(num):
+        others = np.array([j for j in range(num) if j != i])
+        targets = rng.choice(others, size=k, replace=False)
+        for j in targets:
+            noiseless = truth.pair_bandwidth(i, int(j))
+            noise = float(np.exp(rng.normal(0.0, noise_sigma)))
+            measurements.append(Measurement(i, int(j), noiseless * noise))
+    return measurements

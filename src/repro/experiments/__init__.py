@@ -1,0 +1,64 @@
+"""One experiment module per table/figure of the paper (see DESIGN.md).
+
+* :mod:`~repro.experiments.table1` — Algorithm 2 trace (Table I);
+* :mod:`~repro.experiments.figure7` — tight homogeneous worst-case grid;
+* :mod:`~repro.experiments.figure19` — average-case random-instance sweep;
+* :mod:`~repro.experiments.worstcase` — Figures 1/6/18, Theorems 6.1/6.3;
+* :mod:`~repro.experiments.ablations` — design-choice ablations;
+* :mod:`~repro.experiments.report` — plain-text rendering of all of them.
+"""
+
+from .ablations import (
+    baseline_comparison,
+    cyclic_gain,
+    greedy_vs_exhaustive,
+    omega_quality,
+    packing_degree_ablation,
+    source_sensitivity,
+)
+from .common import Stats, format_table, full_scale, summarize
+from .figure7 import Figure7Config, Figure7Result, cell_worst_ratio, run_figure7
+from .figure19 import CellResult, Figure19Config, Figure19Result, run_figure19
+from .table1 import (
+    Table1Result,
+    render_table1,
+    run_table1,
+    table1_matches_paper,
+)
+from .worstcase import (
+    figure1_report,
+    figure6_report,
+    figure18_report,
+    theorem61_report,
+    theorem63_report,
+)
+
+__all__ = [
+    "run_table1",
+    "table1_matches_paper",
+    "render_table1",
+    "Table1Result",
+    "run_figure7",
+    "cell_worst_ratio",
+    "Figure7Config",
+    "Figure7Result",
+    "run_figure19",
+    "Figure19Config",
+    "Figure19Result",
+    "CellResult",
+    "figure1_report",
+    "figure6_report",
+    "figure18_report",
+    "theorem61_report",
+    "theorem63_report",
+    "greedy_vs_exhaustive",
+    "packing_degree_ablation",
+    "omega_quality",
+    "baseline_comparison",
+    "cyclic_gain",
+    "source_sensitivity",
+    "full_scale",
+    "format_table",
+    "summarize",
+    "Stats",
+]

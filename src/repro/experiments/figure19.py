@@ -1,0 +1,191 @@
+"""Figure 19 — average-case acyclic/cyclic ratio on random instances.
+
+Protocol (Appendix XII): for each bandwidth distribution in
+``{LN1, LN2, Power1, Power2, Unif100, PLab}``, each open-node probability
+``p in {0.1, 0.5, 0.7, 0.9}`` and each instance size ``n``, sample
+instances whose source bandwidth saturates ``b0 = T*``, then record —
+normalized by the optimal cyclic throughput ``T*`` (closed form,
+Lemma 5.1) —
+
+* **black** (boxplots in the paper): the optimal acyclic throughput
+  ``T*_ac`` (dichotomic search over Algorithm 2);
+* **blue**: the best of the two balanced words,
+  ``max(T*_ac(omega1), T*_ac(omega2))``;
+* **red**: the single word used by Theorem 6.2's case analysis
+  (:func:`repro.core.word_catalog.proof_word`).
+
+Expected shape (paper's conclusions): every mean ratio is ~>= 0.95;
+Power1/Power2 with many open nodes are slightly hardest at small sizes;
+blue is nearly indistinguishable from black (identical for large
+instances); red lags visibly on small instances only.
+
+Defaults are reduced (sizes {10, 30, 100}, 60 reps, p in {0.1, 0.5,
+0.9}); ``REPRO_FULL=1`` switches to the paper's grid (sizes {10, 100,
+1000}, 1000 reps, p in {0.1, 0.5, 0.7, 0.9}).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..algorithms.acyclic_guarded import optimal_acyclic_throughput
+from ..core.bounds import cyclic_optimum
+from ..core.word_catalog import best_omega_throughput, proof_word_throughput
+from ..instances.generators import DISTRIBUTIONS, random_instance
+from .common import Stats, full_scale, summarize
+
+__all__ = [
+    "Figure19Config",
+    "CellResult",
+    "Figure19Result",
+    "run_figure19",
+]
+
+PAPER_DISTRIBUTIONS = ("LN1", "LN2", "Power1", "Power2", "Unif100", "PLab")
+
+
+@dataclass(frozen=True)
+class Figure19Config:
+    distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS
+    open_probs: tuple[float, ...] = (0.1, 0.5, 0.9)
+    sizes: tuple[int, ...] = (10, 30, 100)
+    repetitions: int = 60
+    seed: int = 20100419  # IPDPS 2010 vintage
+
+    @classmethod
+    def from_env(cls) -> "Figure19Config":
+        if full_scale():
+            return cls(
+                open_probs=(0.1, 0.5, 0.7, 0.9),
+                sizes=(10, 100, 1000),
+                repetitions=1000,
+            )
+        return cls()
+
+
+@dataclass
+class CellResult:
+    """One (distribution, p, size) cell: ratio samples and their stats."""
+
+    distribution: str
+    open_prob: float
+    size: int
+    optimal: Stats  #: T*_ac / T* (paper: black boxplots)
+    best_omega: Stats  #: max(omega1, omega2) / T* (paper: blue)
+    proof: Stats  #: proof word / T* (paper: red)
+
+    def as_row(self) -> tuple:
+        return (
+            self.distribution,
+            self.open_prob,
+            self.size,
+            self.optimal.mean,
+            self.best_omega.mean,
+            self.proof.mean,
+            self.optimal.q05,
+        )
+
+
+@dataclass
+class Figure19Result:
+    config: Figure19Config
+    cells: list[CellResult] = field(default_factory=list)
+
+    def cell(self, distribution: str, p: float, size: int) -> CellResult:
+        for c in self.cells:
+            if (
+                c.distribution == distribution
+                and abs(c.open_prob - p) < 1e-12
+                and c.size == size
+            ):
+                return c
+        raise KeyError((distribution, p, size))
+
+    # ---- headline checks mirrored from the paper's text ----------------
+    def worst_mean_optimal_ratio(self) -> float:
+        return min(c.optimal.mean for c in self.cells)
+
+    def worst_mean_omega_gap(self) -> float:
+        """Largest mean gap between blue and black (paper: tiny)."""
+        return max(
+            c.optimal.mean - c.best_omega.mean for c in self.cells
+        )
+
+    def proof_word_gap_by_size(self) -> dict[int, float]:
+        """Mean (black - red) per size; shrinks as size grows."""
+        gaps: dict[int, list[float]] = {}
+        for c in self.cells:
+            gaps.setdefault(c.size, []).append(
+                c.optimal.mean - c.proof.mean
+            )
+        return {s: sum(v) / len(v) for s, v in sorted(gaps.items())}
+
+    def to_csv(self) -> str:
+        """CSV export (one row per cell) for external plotting."""
+        rows = [
+            "distribution,p,n,mean_optimal,q05_optimal,median_optimal,"
+            "q95_optimal,mean_best_omega,mean_proof_word"
+        ]
+        for c in self.cells:
+            rows.append(
+                f"{c.distribution},{c.open_prob:g},{c.size},"
+                f"{c.optimal.mean:.6f},{c.optimal.q05:.6f},"
+                f"{c.optimal.median:.6f},{c.optimal.q95:.6f},"
+                f"{c.best_omega.mean:.6f},{c.proof.mean:.6f}"
+            )
+        return "\n".join(rows) + "\n"
+
+
+def _one_cell(
+    distribution: str,
+    open_prob: float,
+    size: int,
+    repetitions: int,
+    rng: np.random.Generator,
+) -> CellResult:
+    opt_ratios: list[float] = []
+    omega_ratios: list[float] = []
+    proof_ratios: list[float] = []
+    for _ in range(repetitions):
+        inst = random_instance(rng, size, open_prob, distribution)
+        t_star = cyclic_optimum(inst)
+        if t_star <= 0.0:  # all-zero bandwidth draw; ratio is vacuous
+            opt_ratios.append(1.0)
+            omega_ratios.append(1.0)
+            proof_ratios.append(1.0)
+            continue
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        opt_ratios.append(t_ac / t_star)
+        omega_ratios.append(best_omega_throughput(inst) / t_star)
+        proof_ratios.append(proof_word_throughput(inst) / t_star)
+    return CellResult(
+        distribution=distribution,
+        open_prob=open_prob,
+        size=size,
+        optimal=summarize(opt_ratios),
+        best_omega=summarize(omega_ratios),
+        proof=summarize(proof_ratios),
+    )
+
+
+def run_figure19(config: Optional[Figure19Config] = None) -> Figure19Result:
+    """Full sweep; deterministic given the config seed."""
+    config = config if config is not None else Figure19Config.from_env()
+    unknown = set(config.distributions) - set(DISTRIBUTIONS)
+    if unknown:
+        raise ValueError(f"unknown distributions: {sorted(unknown)}")
+    result = Figure19Result(config=config)
+    for d_idx, dist in enumerate(config.distributions):
+        for p_idx, p in enumerate(config.open_probs):
+            for s_idx, size in enumerate(config.sizes):
+                # Independent, reproducible stream per cell.
+                rng = np.random.default_rng(
+                    (config.seed, d_idx, p_idx, s_idx)
+                )
+                result.cells.append(
+                    _one_cell(dist, p, size, config.repetitions, rng)
+                )
+    return result

@@ -1,0 +1,225 @@
+"""Figure 7 — worst-case ``T*_ac / T*`` over tight homogeneous instances.
+
+The paper exhaustively explores tight homogeneous instances for
+``n, m in [0, 100]`` and plots the worst ratio per ``(n, m)`` cell.  The
+observations the reproduction must recover:
+
+* the ratio never goes below the ``5/7 ~= 0.714`` floor (Theorem 6.2) —
+  and *hits* it on a small instance (``n = 1, m = 2``, cf. Figure 18);
+* along the band ``m ~= alpha n`` with ``alpha = (sqrt(41)-3)/8 ~= 0.425``
+  the ratio stays near ``(1 + sqrt(41))/8 ~= 0.925`` even for large
+  ``n, m`` (Theorem 6.3);
+* outside a few small instances the ratio exceeds ``0.8``.
+
+A tight homogeneous instance for a cell ``(n, m)`` is parametrized by
+``delta in [max(0, 1-m), n]`` (see
+:func:`repro.instances.families.tight_homogeneous_instance`); the cell
+value is the *minimum* ratio over a ``delta`` grid (the paper's
+"all possible tight and homogeneous instances").
+
+Default grid: ``n, m <= 40`` with stride 2 and 9 delta samples (seconds
+of CPU); ``REPRO_FULL=1`` runs the full 100 x 100 x dense-delta sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algorithms.acyclic_guarded import optimal_acyclic_throughput
+from ..core.bounds import FIVE_SEVENTHS, THEOREM63_ALPHA, THEOREM63_LIMIT
+from ..core.bounds import cyclic_optimum
+from ..instances.families import tight_homogeneous_instance
+from .common import full_scale
+
+__all__ = [
+    "Figure7Config",
+    "Figure7Result",
+    "run_figure7",
+    "cell_worst_ratio",
+    "render_heatmap",
+    "to_csv",
+]
+
+
+@dataclass(frozen=True)
+class Figure7Config:
+    """Sweep configuration (defaults: reduced; paper scale via REPRO_FULL)."""
+
+    max_n: int = 40
+    max_m: int = 40
+    stride: int = 2
+    delta_samples: int = 9
+    refine_rounds: int = 3
+
+    @classmethod
+    def from_env(cls) -> "Figure7Config":
+        if full_scale():
+            return cls(max_n=100, max_m=100, stride=1, delta_samples=21)
+        return cls()
+
+    def n_values(self) -> list[int]:
+        return list(range(1, self.max_n + 1, self.stride))
+
+    def m_values(self) -> list[int]:
+        return list(range(0, self.max_m + 1, self.stride))
+
+
+def _cell_ratio(n: int, m: int, delta: float) -> float:
+    inst = tight_homogeneous_instance(n, m, delta)
+    t_star = cyclic_optimum(inst)
+    t_ac, _ = optimal_acyclic_throughput(inst)
+    return t_ac / t_star
+
+
+def cell_worst_ratio(
+    n: int, m: int, delta_samples: int = 9, refine_rounds: int = 3
+) -> float:
+    """Worst ``T*_ac / T*`` over the delta-parametrized cell ``(n, m)``.
+
+    ``T* = 1`` by construction (tight instances), so the ratio is just the
+    dichotomic-search optimum.  ``m = 0`` has a single instance
+    (``delta = n``); otherwise ``delta`` spans ``[max(0, 1 - m), n]`` and
+    the minimum over the grid is sharpened by ``refine_rounds`` of local
+    grid refinement around the argmin (the exact worst case can sit at a
+    fractional delta: e.g. cell ``(1, 2)`` attains 5/7 at
+    ``delta = 1/7``, the Figure 18 instance).
+    """
+    if m == 0:
+        return _cell_ratio(n, m, float(n))
+    lo = max(0.0, 1.0 - m)
+    hi = float(n)
+    if hi <= lo:
+        return _cell_ratio(n, m, hi)
+    samples = max(delta_samples, 3)
+    deltas = [lo + (hi - lo) * k / (samples - 1) for k in range(samples)]
+    values = [_cell_ratio(n, m, d) for d in deltas]
+    for _ in range(refine_rounds):
+        i = min(range(len(values)), key=values.__getitem__)
+        new_lo = deltas[max(i - 1, 0)]
+        new_hi = deltas[min(i + 1, len(deltas) - 1)]
+        if new_hi - new_lo <= 1e-9:
+            break
+        deltas = [
+            new_lo + (new_hi - new_lo) * k / (samples - 1)
+            for k in range(samples)
+        ]
+        values = [_cell_ratio(n, m, d) for d in deltas]
+    return min(values)
+
+
+@dataclass
+class Figure7Result:
+    """The ratio grid plus the headline observations."""
+
+    config: Figure7Config
+    n_values: list[int]
+    m_values: list[int]
+    #: ratio[i][j] = worst ratio at (n_values[i], m_values[j])
+    ratios: list[list[float]] = field(default_factory=list)
+
+    @property
+    def global_min(self) -> float:
+        return min(min(row) for row in self.ratios)
+
+    @property
+    def global_argmin(self) -> tuple[int, int]:
+        best, arg = float("inf"), (0, 0)
+        for i, n in enumerate(self.n_values):
+            for j, m in enumerate(self.m_values):
+                if self.ratios[i][j] < best:
+                    best, arg = self.ratios[i][j], (n, m)
+        return arg
+
+    def fraction_above(self, threshold: float) -> float:
+        cells = [r for row in self.ratios for r in row]
+        return sum(1 for r in cells if r >= threshold) / len(cells)
+
+    def band_range(self, min_n: int | None = None) -> tuple[float, float]:
+        """(min, max) ratio along the Theorem 6.3 band ``m ~= 0.425 n``.
+
+        The paper observes (e.g. n=100, m=42) that the ratio remains
+        bounded away from 1 near ``(1+sqrt41)/8 ~= 0.925`` *even for large
+        n and m*; small cells are excluded by ``min_n`` (default: half the
+        grid) since every small cell sits below the limit anyway.
+        """
+        if min_n is None:
+            min_n = self.config.max_n // 2
+        lo, hi = float("inf"), 0.0
+        for i, n in enumerate(self.n_values):
+            if n < min_n:
+                continue
+            target_m = THEOREM63_ALPHA * n
+            j = min(
+                range(len(self.m_values)),
+                key=lambda jj: abs(self.m_values[jj] - target_m),
+            )
+            lo = min(lo, self.ratios[i][j])
+            hi = max(hi, self.ratios[i][j])
+        return lo, hi
+
+    def respects_five_sevenths(self, slack: float = 1e-6) -> bool:
+        return self.global_min >= FIVE_SEVENTHS - slack
+
+    def summary(self) -> dict:
+        n_arg, m_arg = self.global_argmin
+        band_lo, band_hi = self.band_range()
+        return {
+            "global_min": self.global_min,
+            "argmin": (n_arg, m_arg),
+            "five_sevenths_floor": FIVE_SEVENTHS,
+            "floor_respected": self.respects_five_sevenths(),
+            "band_min": band_lo,
+            "band_max": band_hi,
+            "theorem63_limit": THEOREM63_LIMIT,
+            "fraction_above_0.8": self.fraction_above(0.8),
+        }
+
+
+def render_heatmap(result: "Figure7Result") -> str:
+    """ASCII rendering of the ratio grid (rows: n, columns: m).
+
+    Each cell prints one digit: ``9`` for ratio >= 0.95 down to ``0`` for
+    ratio < 0.5 (0.05-wide buckets), mirroring the paper's 3-D surface as
+    a character map.  The 5/7 floor shows up as '4'-ish cells, the
+    Theorem 6.3 band as a diagonal stripe of '8's through the '9' field.
+    """
+    lines = [
+        "ratio deciles: 9 >= 0.95 > 8 >= 0.90 > ... > 0 < 0.55  "
+        "(rows n, cols m)"
+    ]
+    header = "      m=" + " ".join(f"{m:>2d}"[-1] for m in result.m_values)
+    lines.append(header)
+    for i, n in enumerate(result.n_values):
+        cells = []
+        for ratio in result.ratios[i]:
+            bucket = int((ratio - 0.5) / 0.05)
+            cells.append(str(min(max(bucket, 0), 9)))
+        lines.append(f"n={n:>4d}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def to_csv(result: "Figure7Result") -> str:
+    """CSV export (n, m, worst_ratio) of the grid, for external plotting."""
+    rows = ["n,m,worst_ratio"]
+    for i, n in enumerate(result.n_values):
+        for j, m in enumerate(result.m_values):
+            rows.append(f"{n},{m},{result.ratios[i][j]:.9f}")
+    return "\n".join(rows) + "\n"
+
+
+def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
+    """Sweep the (n, m) grid and collect worst ratios per cell."""
+    config = config if config is not None else Figure7Config.from_env()
+    result = Figure7Result(
+        config=config,
+        n_values=config.n_values(),
+        m_values=config.m_values(),
+    )
+    for n in result.n_values:
+        row = [
+            cell_worst_ratio(n, m, config.delta_samples, config.refine_rounds)
+            for m in result.m_values
+        ]
+        result.ratios.append(row)
+    return result

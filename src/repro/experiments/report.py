@@ -1,0 +1,184 @@
+"""Plain-text reporting of every experiment (the benchmark harness prints
+these, and EXPERIMENTS.md is written from the same renderings)."""
+
+from __future__ import annotations
+
+from ..core.bounds import FIVE_SEVENTHS, THEOREM63_LIMIT
+from .ablations import (
+    BaselineRow,
+    CyclicGainRow,
+    PackingAblation,
+)
+from .common import format_table
+from .figure7 import Figure7Result
+from .figure19 import Figure19Result
+from .table1 import render_table1
+from .worstcase import (
+    Figure1Report,
+    Figure6Report,
+    Figure18Report,
+    Theorem61Report,
+    Theorem63Report,
+)
+
+__all__ = [
+    "render_table1",
+    "render_figure1",
+    "render_figure6",
+    "render_figure18",
+    "render_theorem63",
+    "render_theorem61",
+    "render_figure7",
+    "render_figure19",
+    "render_baselines",
+    "render_cyclic_gain",
+    "render_packing",
+]
+
+
+def render_figure1(rep: Figure1Report) -> str:
+    rows = [
+        ["T* (Lemma 5.1 closed form)", 4.4, rep.t_star_closed_form],
+        ["T* (multi-flow LP)", 4.4, rep.t_star_lp],
+        ["T*_ac (dichotomic search)", 4.0, rep.t_ac_search],
+        ["T*_ac scheme throughput", 4.0, rep.t_ac_scheme],
+    ]
+    table = format_table(["quantity", "paper", "measured"], rows)
+    return (
+        f"{table}\n"
+        f"greedy word: {rep.greedy_word!r} (paper: 'gogog', Figure 5)\n"
+        f"scheme outdegrees: {rep.scheme_degrees}"
+    )
+
+
+def render_figure6(rows: list[Figure6Report]) -> str:
+    table = format_table(
+        ["m", "T*", "scheme T", "src degree", "ceil(b0/T*)", "T*_ac"],
+        [
+            [
+                r.m,
+                r.t_star,
+                r.scheme_throughput,
+                r.source_degree,
+                r.source_degree_lower_bound,
+                r.acyclic_throughput,
+            ]
+            for r in rows
+        ],
+    )
+    return (
+        "Figure 6 family: optimal cyclic schemes need source degree m while "
+        "ceil(b0/T*) = 1\n" + table
+    )
+
+
+def render_figure18(rep: Figure18Report) -> str:
+    rows = [
+        ["T* (Lemma 5.1)", 1.0, rep.t_star],
+        ["T*_ac(ogg) = (2/3)(1+eps)", rep.t_sigma1_expected, rep.t_sigma1],
+        ["T*_ac(gog) = 3/4 - eps/2", rep.t_sigma2_expected, rep.t_sigma2],
+        ["T*_ac(ggo) (dominated)", float("nan"), rep.t_sigma3],
+        ["T*_ac overall", max(rep.t_sigma1_expected, rep.t_sigma2_expected),
+         rep.t_ac],
+        ["ratio T*_ac/T*", FIVE_SEVENTHS if abs(rep.eps - 1 / 14) < 1e-12
+         else float("nan"), rep.ratio],
+    ]
+    return (
+        f"Figure 18 instance at eps = {rep.eps:g} (5/7 = {FIVE_SEVENTHS:.6f})\n"
+        + format_table(["quantity", "expected", "measured"], rows,
+                       float_fmt="{:.6f}")
+    )
+
+
+def render_theorem63(rows: list[Theorem63Report]) -> str:
+    table = format_table(
+        ["alpha", "k", "n", "m", "T*", "upper bound", "measured T*_ac"],
+        [
+            [r.alpha, r.k, r.n, r.m, r.t_star, r.upper_bound, r.measured_t_ac]
+            for r in rows
+        ],
+    )
+    return (
+        f"Theorem 6.3 family (limit (1+sqrt41)/8 = {THEOREM63_LIMIT:.6f})\n"
+        + table
+    )
+
+
+def render_theorem61(rows: list[Theorem61Report]) -> str:
+    table = format_table(
+        ["n", "trials", "bound 1-1/n", "worst ratio", "mean ratio"],
+        [[r.n, r.trials, r.bound, r.worst_ratio, r.mean_ratio] for r in rows],
+    )
+    return "Theorem 6.1 (open only): measured ratios vs 1 - 1/n\n" + table
+
+
+def render_figure7(result: Figure7Result) -> str:
+    s = result.summary()
+    lines = [
+        "Figure 7: worst-case T*_ac/T* on tight homogeneous instances "
+        f"(grid n<= {result.config.max_n}, m <= {result.config.max_m}, "
+        f"stride {result.config.stride})",
+        f"  global min ratio      : {s['global_min']:.6f} at (n, m) = "
+        f"{s['argmin']}",
+        f"  5/7 floor             : {s['five_sevenths_floor']:.6f}  "
+        f"respected = {s['floor_respected']}",
+        f"  Thm 6.3 band (large n): [{s['band_min']:.6f}, {s['band_max']:.6f}]"
+        f"  (limit {s['theorem63_limit']:.6f})",
+        f"  fraction of cells >0.8: {s['fraction_above_0.8']:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def render_figure19(result: Figure19Result) -> str:
+    headers = ["dist", "p", "n", "mean opt", "mean omega", "mean proof",
+               "q05 opt"]
+    rows = [c.as_row() for c in result.cells]
+    summary = [
+        f"worst mean optimal ratio : "
+        f"{result.worst_mean_optimal_ratio():.4f} (paper: >= ~0.95)",
+        f"max mean (black - blue)  : {result.worst_mean_omega_gap():.4f} "
+        f"(paper: tiny)",
+        "mean (black - red) by n  : "
+        + ", ".join(
+            f"n={s}: {g:.4f}"
+            for s, g in result.proof_word_gap_by_size().items()
+        ),
+    ]
+    return (
+        "Figure 19: ratio over optimal cyclic throughput\n"
+        + format_table(headers, rows)
+        + "\n"
+        + "\n".join(summary)
+    )
+
+
+def render_baselines(rows: list[BaselineRow]) -> str:
+    return "Overlay baselines vs the paper's construction\n" + format_table(
+        ["overlay", "throughput", "fraction of T*", "max outdegree"],
+        [[r.name, r.throughput, r.fraction_of_optimal, r.max_outdegree]
+         for r in rows],
+    )
+
+
+def render_cyclic_gain(rows: list[CyclicGainRow]) -> str:
+    return (
+        "Cyclic gain over acyclic on open-only instances (Thm 6.1: <= "
+        "1/(1-1/n))\n"
+        + format_table(
+            ["n", "mean T*_ac", "mean T*", "mean gain"],
+            [[r.n, r.acyclic, r.cyclic, r.gain] for r in rows],
+        )
+    )
+
+
+def render_packing(rep: PackingAblation) -> str:
+    rows = [
+        ["throughput", rep.throughput_fifo, rep.throughput_lp],
+        ["max degree excess over ceil(b/T)", rep.max_excess_degree_fifo,
+         rep.max_excess_degree_lp],
+        ["edges", rep.edges_fifo, rep.edges_lp],
+    ]
+    return (
+        "Lemma 4.6 FIFO packing vs LP rate assignment (same order & rate)\n"
+        + format_table(["metric", "FIFO packing", "LP"], rows)
+    )

@@ -1,0 +1,104 @@
+"""Table I — execution trace of Algorithm 2 on the Figure 1 instance.
+
+The paper tabulates the Lemma 4.4 pools ``O(pi)``, ``G(pi)``, ``W(pi)``
+after each prefix of the greedy run at ``T = 4`` on the instance
+``b0 = 6``, open ``(5, 5)``, guarded ``(4, 1, 1)``::
+
+    pi      eps   g    go   gog  gogo  gogog
+    O(pi)   6     2    7    3    5     1
+    G(pi)   0     4    0    1    0     1
+    W(pi)   0     0    0    0    3     3
+
+(the paper prints prefixes as square/circle glyphs; ``g``/``o`` here).
+All quantities are dyadic rationals, so the float reproduction must match
+*exactly*; :func:`table1_matches_paper` asserts that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.greedy import greedy_test
+from ..instances.families import figure1_instance
+from .common import format_table
+
+__all__ = [
+    "TARGET_RATE",
+    "PAPER_PREFIXES",
+    "PAPER_O",
+    "PAPER_G",
+    "PAPER_W",
+    "Table1Result",
+    "run_table1",
+    "table1_matches_paper",
+    "render_table1",
+]
+
+#: Throughput at which the paper traces Algorithm 2.
+TARGET_RATE = 4.0
+
+#: The six prefixes of the greedy word (empty prefix first).
+PAPER_PREFIXES = ("", "g", "go", "gog", "gogo", "gogog")
+PAPER_O = (6.0, 2.0, 7.0, 3.0, 5.0, 1.0)
+PAPER_G = (0.0, 4.0, 0.0, 1.0, 0.0, 1.0)
+PAPER_W = (0.0, 0.0, 0.0, 0.0, 3.0, 3.0)
+
+
+@dataclass
+class Table1Result:
+    """Measured trace (same layout as the paper's table)."""
+
+    prefixes: tuple[str, ...]
+    open_avail: tuple[float, ...]
+    guarded_avail: tuple[float, ...]
+    open_to_open: tuple[float, ...]
+    word: str
+    feasible: bool
+
+
+def run_table1() -> Table1Result:
+    """Re-run Algorithm 2 with tracing on the Figure 1 instance."""
+    inst = figure1_instance()
+    res = greedy_test(inst, TARGET_RATE, trace=True)
+    states = res.states()
+    prefixes = tuple(res.word[:k] for k in range(len(states)))
+    return Table1Result(
+        prefixes=prefixes,
+        open_avail=tuple(s.open_avail for s in states),
+        guarded_avail=tuple(s.guarded_avail for s in states),
+        open_to_open=tuple(s.open_to_open for s in states),
+        word=res.word,
+        feasible=res.feasible,
+    )
+
+
+def table1_matches_paper(result: Table1Result | None = None) -> bool:
+    """Exact comparison against the paper's published values."""
+    result = result if result is not None else run_table1()
+    return (
+        result.feasible
+        and result.prefixes == PAPER_PREFIXES
+        and result.open_avail == PAPER_O
+        and result.guarded_avail == PAPER_G
+        and result.open_to_open == PAPER_W
+    )
+
+
+def render_table1(result: Table1Result | None = None) -> str:
+    """ASCII rendering with a paper-vs-measured verdict line."""
+    result = result if result is not None else run_table1()
+    headers = ["", *(p if p else "eps" for p in result.prefixes)]
+    rows = [
+        ["O(pi)", *result.open_avail],
+        ["G(pi)", *result.guarded_avail],
+        ["W(pi)", *result.open_to_open],
+    ]
+    verdict = (
+        "matches the paper exactly"
+        if table1_matches_paper(result)
+        else "MISMATCH vs the paper"
+    )
+    return (
+        format_table(headers, rows, float_fmt="{:g}")
+        + f"\nTable I trace ({verdict}); word = {result.word!r}"
+    )

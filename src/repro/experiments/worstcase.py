@@ -1,0 +1,231 @@
+"""Worst-case experiments: Figures 1/6/18 and Theorems 6.1/6.2/6.3.
+
+Each function re-derives one of the paper's worst-case claims numerically
+and returns a plain-data report with paper-vs-measured fields; the
+benchmark harness prints them and the test suite asserts the comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..algorithms.acyclic_guarded import (
+    acyclic_guarded_scheme,
+    optimal_acyclic_throughput,
+)
+from ..algorithms.exact import optimal_cyclic_lp, order_lp_throughput
+from ..core.bounds import (
+    THEOREM63_ALPHA,
+    THEOREM63_LIMIT,
+    acyclic_open_optimum,
+    cyclic_open_optimum,
+    cyclic_optimum,
+    open_only_ratio_bound,
+    theorem63_acyclic_upper_bound,
+)
+from ..core.numerics import safe_ceil_div
+from ..core.throughput import scheme_throughput
+from ..instances.families import (
+    FIVE_SEVENTHS_EPS,
+    figure1_instance,
+    figure6_instance,
+    figure6_optimal_scheme,
+    five_sevenths_instance,
+    theorem63_instance,
+)
+from ..instances.generators import random_instance
+
+__all__ = [
+    "Figure1Report",
+    "figure1_report",
+    "Figure6Report",
+    "figure6_report",
+    "Figure18Report",
+    "figure18_report",
+    "Theorem63Report",
+    "theorem63_report",
+    "Theorem61Report",
+    "theorem61_report",
+]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Figure1Report:
+    """Running example: closed forms vs LP vs constructions."""
+
+    t_star_closed_form: float  #: Lemma 5.1: min(6, 16/3, 22/5) = 4.4
+    t_star_lp: float  #: multi-flow LP certificate
+    t_ac_search: float  #: dichotomic search (paper: 4)
+    t_ac_scheme: float  #: throughput of the constructed low-degree scheme
+    greedy_word: str  #: paper: 'gogog' (order 0 3 1 4 2 5, Figure 5)
+    scheme_degrees: list[int]
+
+
+def figure1_report() -> Figure1Report:
+    inst = figure1_instance()
+    t_star = cyclic_optimum(inst)
+    t_lp = optimal_cyclic_lp(inst)
+    t_ac, word = optimal_acyclic_throughput(inst)
+    sol = acyclic_guarded_scheme(inst)
+    return Figure1Report(
+        t_star_closed_form=t_star,
+        t_star_lp=t_lp,
+        t_ac_search=t_ac,
+        t_ac_scheme=scheme_throughput(sol.scheme, inst),
+        greedy_word=word,
+        scheme_degrees=sol.scheme.outdegrees(),
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Figure6Report:
+    """Cyclic + guarded may force unbounded degree (one row per m)."""
+
+    m: int
+    t_star: float  #: always 1
+    scheme_throughput: float  #: the explicit optimal scheme achieves it
+    source_degree: int  #: m — grows without bound ...
+    source_degree_lower_bound: int  #: ... while ceil(b0/T*) = 1
+    acyclic_throughput: float  #: what low-degree acyclic schemes get
+
+
+def figure6_report(ms: tuple[int, ...] = (2, 4, 8, 16, 32)) -> list[Figure6Report]:
+    rows = []
+    for m in ms:
+        inst = figure6_instance(m)
+        scheme = figure6_optimal_scheme(m)
+        scheme.validate(inst)
+        t = scheme_throughput(scheme, inst, method="maxflow")
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        rows.append(
+            Figure6Report(
+                m=m,
+                t_star=cyclic_optimum(inst),
+                scheme_throughput=t,
+                source_degree=scheme.outdegree(0),
+                source_degree_lower_bound=safe_ceil_div(
+                    inst.source_bw, cyclic_optimum(inst)
+                ),
+                acyclic_throughput=t_ac,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Figure18Report:
+    """Theorem 6.2's tight 5/7 instance at a given epsilon."""
+
+    eps: float
+    t_star: float  #: 1 (Lemma 5.1)
+    t_sigma1: float  #: order 'ogg': (2/3)(1 + eps)
+    t_sigma1_expected: float
+    t_sigma2: float  #: order 'gog': 3/4 - eps/2
+    t_sigma2_expected: float
+    t_sigma3: float  #: order 'ggo' (dominated)
+    t_ac: float  #: overall optimum = max of the orders
+    ratio: float  #: T*_ac / T* (== 5/7 at eps = 1/14)
+
+
+def figure18_report(eps: float = FIVE_SEVENTHS_EPS) -> Figure18Report:
+    inst = five_sevenths_instance(eps)
+    t_star = cyclic_optimum(inst)
+    t1 = order_lp_throughput(inst, "ogg")
+    t2 = order_lp_throughput(inst, "gog")
+    t3 = order_lp_throughput(inst, "ggo")
+    t_ac, _ = optimal_acyclic_throughput(inst)
+    return Figure18Report(
+        eps=eps,
+        t_star=t_star,
+        t_sigma1=t1,
+        t_sigma1_expected=(2.0 / 3.0) * (1.0 + eps),
+        t_sigma2=t2,
+        t_sigma2_expected=0.75 - eps / 2.0,
+        t_sigma3=t3,
+        t_ac=t_ac,
+        ratio=t_ac / t_star,
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Theorem63Report:
+    """The I(alpha, k) family: ratio stuck near (1 + sqrt(41))/8."""
+
+    alpha: float
+    k: int
+    n: int
+    m: int
+    t_star: float  #: always 1
+    upper_bound: float  #: max(f_alpha(floor(1/a)), g_alpha(ceil(1/a)))
+    measured_t_ac: float
+    limit: float  #: (1 + sqrt(41))/8 ~ 0.92539
+
+
+def theorem63_report(
+    alpha: Fraction | None = None, ks: tuple[int, ...] = (1, 2, 4, 8)
+) -> list[Theorem63Report]:
+    if alpha is None:
+        alpha = Fraction(THEOREM63_ALPHA).limit_denominator(40)
+    rows = []
+    for k in ks:
+        inst = theorem63_instance(alpha, k)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        rows.append(
+            Theorem63Report(
+                alpha=float(alpha),
+                k=k,
+                n=inst.n,
+                m=inst.m,
+                t_star=cyclic_optimum(inst),
+                upper_bound=theorem63_acyclic_upper_bound(float(alpha)),
+                measured_t_ac=t_ac,
+                limit=THEOREM63_LIMIT,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Theorem61Report:
+    """Open-only instances: measured worst ratio vs the 1 - 1/n bound."""
+
+    n: int
+    trials: int
+    bound: float  #: 1 - 1/n
+    worst_ratio: float
+    mean_ratio: float
+
+
+def theorem61_report(
+    ns: tuple[int, ...] = (2, 5, 10, 50),
+    trials: int = 200,
+    seed: int = 0,
+) -> list[Theorem61Report]:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in ns:
+        worst, total = math.inf, 0.0
+        for _ in range(trials):
+            inst = random_instance(rng, n, 1.0, "Unif100")
+            ratio = acyclic_open_optimum(inst) / cyclic_open_optimum(inst)
+            worst = min(worst, ratio)
+            total += ratio
+        rows.append(
+            Theorem61Report(
+                n=n,
+                trials=trials,
+                bound=open_only_ratio_bound(n),
+                worst_ratio=worst,
+                mean_ratio=total / trials,
+            )
+        )
+    return rows

@@ -1,0 +1,18 @@
+"""Flow substrates: max-flow (Dinic) and broadcast-tree decomposition."""
+
+from .arborescence import (
+    BroadcastTree,
+    decompose_broadcast_trees,
+    verify_decomposition,
+)
+from .dinic import FLOW_EPS, FlowNetwork, maxflow, min_cut
+
+__all__ = [
+    "FlowNetwork",
+    "maxflow",
+    "min_cut",
+    "FLOW_EPS",
+    "BroadcastTree",
+    "decompose_broadcast_trees",
+    "verify_decomposition",
+]

@@ -1,0 +1,187 @@
+"""Weighted broadcast-tree decomposition of acyclic schemes.
+
+Section II-C of the paper: a rate matrix supporting broadcast rate ``T``
+"can be decomposed into a set of weighted broadcast trees" (Schrijver,
+Combinatorial Optimization, vol. B, ch. 53) — the decomposition *is* the
+explicit communication schedule: tree ``k`` carries a substream of rate
+``w_k``, and ``sum_k w_k = T``.
+
+General arborescence packing (Edmonds) is involved; this library's
+schemes however are all of a restricted, easy class — **acyclic** with
+**every receiver's in-rate equal to the scheme rate** ``T`` (Algorithm 1
+and the word-packing of Lemma 4.6 construct exactly that).  For this
+class a greedy extraction is provably correct:
+
+* every round picks one positive in-edge per receiver; in a DAG any such
+  choice is a spanning arborescence rooted at the source (parent chains
+  strictly decrease in topological position and can only stop at the
+  source, the unique in-degree-0 node);
+* subtracting the round's weight (the minimum chosen-edge residual) from
+  one in-edge of every receiver keeps all in-rates *equal*, so while any
+  residual remains every receiver still has a positive in-edge;
+* each round zeroes at least one edge, so at most ``E`` rounds happen and
+  the extracted weights sum exactly to ``T``.
+
+Cyclic schemes (Theorem 5.2's output) are out of scope here and raise
+:class:`~repro.core.exceptions.DecompositionError`; the randomized
+simulator (:mod:`repro.simulation.packet_sim`) covers those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.exceptions import DecompositionError
+from ..core.scheme import BroadcastScheme
+
+__all__ = ["BroadcastTree", "decompose_broadcast_trees", "verify_decomposition"]
+
+#: Residuals below this fraction of the total rate are treated as zero.
+_REL_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BroadcastTree:
+    """One spanning arborescence with its substream rate.
+
+    ``parent[v]`` is the node feeding ``v`` in this tree (``parent[0]``
+    is ``-1`` for the source).
+    """
+
+    weight: float
+    parent: tuple[int, ...]
+
+    def depth(self, v: int) -> int:
+        d = 0
+        while self.parent[v] >= 0:
+            v = self.parent[v]
+            d += 1
+        return d
+
+    def max_depth(self) -> int:
+        return max(self.depth(v) for v in range(len(self.parent)))
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [
+            (p, v) for v, p in enumerate(self.parent) if p >= 0
+        ]
+
+
+def decompose_broadcast_trees(
+    scheme: BroadcastScheme,
+    *,
+    source: int = 0,
+    max_rounds: Optional[int] = None,
+) -> list[BroadcastTree]:
+    """Decompose an acyclic equal-in-rate scheme into weighted trees.
+
+    Preconditions (checked): the scheme is a DAG and every non-source node
+    has the same in-rate ``T`` up to relative tolerance.  Returns trees
+    whose weights sum to ``T`` and whose per-edge usage never exceeds the
+    scheme's rates.
+    """
+    num = scheme.num_nodes
+    if num == 1:
+        return []
+    if not scheme.is_acyclic():
+        raise DecompositionError(
+            "greedy tree decomposition requires an acyclic scheme"
+        )
+    in_rates = scheme.in_rates()
+    receivers = [v for v in range(num) if v != source]
+    total = in_rates[receivers[0]] if receivers else 0.0
+    tol = _REL_EPS * max(1.0, total)
+    for v in receivers:
+        if abs(in_rates[v] - total) > tol:
+            raise DecompositionError(
+                f"receiver {v} has in-rate {in_rates[v]:g} != scheme rate "
+                f"{total:g}; the greedy decomposition only handles "
+                f"equal-in-rate schemes"
+            )
+    if total <= tol:
+        return []
+
+    # Residual in-edge lists: for each receiver, [sender, residual] pairs.
+    residual: dict[int, list[list]] = {v: [] for v in receivers}
+    for i, j, rate in scheme.edges():
+        residual[j].append([i, rate])
+
+    trees: list[BroadcastTree] = []
+    remaining = total
+    cap = max_rounds if max_rounds is not None else scheme.num_edges + 1
+    for _ in range(cap):
+        if remaining <= tol:
+            break
+        parent = [-1] * num
+        weight = remaining
+        chosen: list[list] = []
+        for v in receivers:
+            best = None
+            for entry in residual[v]:
+                if entry[1] > tol and (best is None or entry[1] > best[1]):
+                    best = entry
+            if best is None:
+                raise DecompositionError(
+                    f"receiver {v} ran out of in-capacity with {remaining:g} "
+                    f"of rate left (numerically degenerate scheme?)"
+                )
+            parent[v] = best[0]
+            chosen.append(best)
+            if best[1] < weight:
+                weight = best[1]
+        for entry in chosen:
+            entry[1] -= weight
+        trees.append(BroadcastTree(weight, tuple(parent)))
+        remaining -= weight
+    else:
+        raise DecompositionError("round cap exceeded without converging")
+    return trees
+
+
+def verify_decomposition(
+    scheme: BroadcastScheme,
+    trees: list[BroadcastTree],
+    throughput: float,
+    *,
+    source: int = 0,
+    rel_tol: float = 1e-6,
+) -> None:
+    """Assert the decomposition is a valid schedule (used by tests).
+
+    Checks: weights sum to ``throughput``; every tree is a spanning
+    arborescence rooted at the source; aggregated per-edge usage stays
+    within the scheme's rates.
+    """
+    tol = rel_tol * max(1.0, throughput)
+    total = sum(t.weight for t in trees)
+    if abs(total - throughput) > tol:
+        raise DecompositionError(
+            f"tree weights sum to {total:g}, expected {throughput:g}"
+        )
+    usage: dict[tuple[int, int], float] = {}
+    for tree in trees:
+        if tree.weight <= 0:
+            raise DecompositionError("non-positive tree weight")
+        if tree.parent[source] != -1:
+            raise DecompositionError("source must be the root")
+        for v in range(scheme.num_nodes):
+            if v == source:
+                continue
+            # Walk to the root; a cycle would loop more than num_nodes times.
+            node, hops = v, 0
+            while node != source:
+                node = tree.parent[node]
+                hops += 1
+                if node < 0 or hops > scheme.num_nodes:
+                    raise DecompositionError(
+                        f"node {v} is not connected to the source in a tree"
+                    )
+        for p, v in tree.edges():
+            usage[(p, v)] = usage.get((p, v), 0.0) + tree.weight
+    for (i, j), used in usage.items():
+        if used > scheme.rate(i, j) + tol:
+            raise DecompositionError(
+                f"edge ({i},{j}) used at {used:g} > scheme rate "
+                f"{scheme.rate(i, j):g}"
+            )

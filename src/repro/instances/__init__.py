@@ -1,0 +1,63 @@
+"""Instance generators and named families from the paper."""
+
+from .families import (
+    FIVE_SEVENTHS_EPS,
+    figure1_instance,
+    figure2_word,
+    figure5_word,
+    figure6_instance,
+    figure6_optimal_scheme,
+    five_sevenths_instance,
+    theorem63_alpha_fraction,
+    theorem63_instance,
+    tight_homogeneous_instance,
+)
+from .generators import (
+    DISTRIBUTIONS,
+    lognormal_bandwidths,
+    lognormal_params,
+    pareto_bandwidths,
+    pareto_params,
+    random_instance,
+    saturating_source_bw,
+    uniform_bandwidths,
+)
+from .npc import (
+    ThreePartition,
+    brute_force_three_partition,
+    random_yes_instance,
+    reduction_instance,
+    scheme_from_partition,
+    verify_strict_degree_scheme,
+)
+from .planetlab import PLANETLAB_TABLE, planetlab_table, sample_planetlab
+
+__all__ = [
+    "figure1_instance",
+    "figure2_word",
+    "figure5_word",
+    "figure6_instance",
+    "figure6_optimal_scheme",
+    "five_sevenths_instance",
+    "FIVE_SEVENTHS_EPS",
+    "theorem63_instance",
+    "theorem63_alpha_fraction",
+    "tight_homogeneous_instance",
+    "DISTRIBUTIONS",
+    "random_instance",
+    "saturating_source_bw",
+    "uniform_bandwidths",
+    "pareto_bandwidths",
+    "pareto_params",
+    "lognormal_bandwidths",
+    "lognormal_params",
+    "PLANETLAB_TABLE",
+    "planetlab_table",
+    "sample_planetlab",
+    "ThreePartition",
+    "reduction_instance",
+    "scheme_from_partition",
+    "verify_strict_degree_scheme",
+    "brute_force_three_partition",
+    "random_yes_instance",
+]

@@ -1,0 +1,164 @@
+"""Named instance families from the paper's figures and proofs.
+
+* :func:`figure1_instance` — the running example (n=2 open, m=3 guarded,
+  optimal cyclic throughput 4.4, optimal acyclic throughput 4).
+* :func:`figure6_instance` / :func:`figure6_optimal_scheme` — the family
+  proving that optimal cyclic schemes with guarded nodes may require
+  arbitrarily large degree: the source must open ``m`` connections while
+  ``ceil(b0 / T*) = 1``.
+* :func:`five_sevenths_instance` — Figure 18 / Theorem 6.2's tight
+  worst case: at ``eps = 1/14`` both candidate orders achieve exactly
+  ``T*_ac = 5/7`` while ``T* = 1``.
+* :func:`theorem63_instance` — the ``I(alpha, k)`` family showing the
+  asymptotic ratio ``(1 + sqrt(41))/8``.
+* :func:`tight_homogeneous_instance` — the worst-case-dominant class of
+  Lemma 11.1 explored exhaustively in Figure 7.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+
+__all__ = [
+    "figure1_instance",
+    "figure2_word",
+    "figure5_word",
+    "figure6_instance",
+    "figure6_optimal_scheme",
+    "five_sevenths_instance",
+    "FIVE_SEVENTHS_EPS",
+    "theorem63_instance",
+    "theorem63_alpha_fraction",
+    "tight_homogeneous_instance",
+]
+
+
+def figure1_instance() -> Instance:
+    """The paper's running example: ``b0=6``, open ``(5,5)``, guarded
+    ``(4,1,1)``.
+
+    Known exact values: ``T* = min(6, 16/3, 22/5) = 4.4`` (Lemma 5.1) and
+    ``T*_ac = 4`` (Figures 2/5; certified in the tests by LP and by the
+    dichotomic search).
+    """
+    return Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+
+
+#: Word of the Figure 2 scheme (order 0,3,1,2,4,5).
+def figure2_word() -> str:
+    return "googg"
+
+
+#: Word of the Figure 5 scheme built by Algorithm 2 (order 0,3,1,4,2,5).
+def figure5_word() -> str:
+    return "gogog"
+
+
+def figure6_instance(m: int) -> Instance:
+    """Unbounded-degree family: ``b0 = 1``, one open node at ``m - 1``,
+    ``m`` guarded nodes at ``1/m``.
+
+    ``T* = min(1, m/m, (1 + (m-1) + 1)/(m+1)) = 1`` but any scheme of
+    throughput 1 forces the source to feed all ``m`` guarded nodes with
+    *distinct* data (the open node's inflow, capped at 1, must be fully
+    fresh to be re-exported at rate ``m - 1``), i.e. source outdegree
+    ``m`` while ``ceil(b0 / T*) = 1``.
+    """
+    if m < 2:
+        raise ValueError("the family needs m >= 2 guarded nodes")
+    return Instance(1.0, (float(m - 1),), tuple([1.0 / m] * m))
+
+
+def figure6_optimal_scheme(m: int) -> BroadcastScheme:
+    """The optimal (degree-``m``) scheme for :func:`figure6_instance`.
+
+    The source splits the unit stream into ``m`` distinct substreams of
+    rate ``1/m``, one per guarded node; each guarded node relays its
+    substream to the open node ``C1`` (which thereby receives the full
+    stream at rate 1); ``C1`` re-exports to each guarded node the
+    ``(m-1)/m`` it is missing.  Max-flow to every node is exactly 1.
+    """
+    inst = figure6_instance(m)
+    scheme = BroadcastScheme.for_instance(inst)
+    open_node = 1
+    for k in range(m):
+        guard = 2 + k  # guarded nodes are indices 2..m+1
+        scheme.set_rate(0, guard, 1.0 / m)
+        scheme.set_rate(guard, open_node, 1.0 / m)
+        scheme.set_rate(open_node, guard, (m - 1.0) / m)
+    return scheme
+
+
+#: The epsilon at which both orders of Figure 18 meet at 5/7.
+FIVE_SEVENTHS_EPS: float = 1.0 / 14.0
+
+
+def five_sevenths_instance(eps: float = FIVE_SEVENTHS_EPS) -> Instance:
+    """Theorem 6.2's tight instance (Figure 18).
+
+    ``b0 = 1``, one open node at ``1 + 2 eps``, two guarded nodes at
+    ``1/2 - eps``; ``T* = 1``.  The three increasing orders achieve
+    ``T*_ac(ogg) = (2/3)(1 + eps)`` and ``T*_ac(gog) = 3/4 - eps/2`` (the
+    third, ``ggo``, is dominated); both equal ``5/7`` at ``eps = 1/14``.
+    """
+    if not 0.0 <= eps < 0.5:
+        raise ValueError("eps must lie in [0, 1/2)")
+    return Instance(1.0, (1.0 + 2.0 * eps,), (0.5 - eps, 0.5 - eps))
+
+
+def theorem63_alpha_fraction(max_denominator: int = 64) -> Fraction:
+    """A rational approximation of ``alpha = (sqrt(41) - 3)/8``.
+
+    Theorem 6.3 requires ``alpha = p/q`` rational; the bound is continuous
+    in ``alpha`` so a close fraction exhibits a ratio close to
+    ``(1 + sqrt(41))/8``.
+    """
+    from ..core.bounds import THEOREM63_ALPHA
+
+    return Fraction(THEOREM63_ALPHA).limit_denominator(max_denominator)
+
+
+def theorem63_instance(alpha: Fraction, k: int) -> Instance:
+    """The family ``I(alpha, k)``: ``b0 = 1``, ``k q`` open nodes at
+    ``alpha = p/q`` and ``k p`` guarded nodes at ``1/alpha``.
+
+    Lemma 5.1 gives ``T* = 1`` for every ``alpha < 1`` and ``k``; Theorem
+    6.3 bounds ``T*_ac <= max(f_alpha(floor(1/alpha)),
+    g_alpha(ceil(1/alpha)))`` independently of ``k``.
+    """
+    if not isinstance(alpha, Fraction):
+        alpha = Fraction(alpha).limit_denominator(10**6)
+    if not 0 < alpha < 1:
+        raise ValueError("theorem 6.3 needs 0 < alpha < 1")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    p, q = alpha.numerator, alpha.denominator
+    a = float(alpha)
+    return Instance(1.0, tuple([a] * (k * q)), tuple([1.0 / a] * (k * p)))
+
+
+def tight_homogeneous_instance(n: int, m: int, delta: float) -> Instance:
+    """The Lemma 11.1 worst-case-dominant class (explored in Figure 7).
+
+    ``b0 = 1`` (= ``T*``), every open node at ``o = (m - 1 + delta)/n``,
+    every guarded node at ``g = (n - delta)/m``, for ``0 <= delta <= n``
+    (and ``delta >= 1 - m`` so that ``o >= 0``).  Tightness:
+    ``b0 + O + G = n + m`` so no bandwidth can be wasted at rate ``T*=1``,
+    and ``b0 + O = m + delta >= m`` keeps the guarded constraint slack.
+
+    ``m = 0`` forces ``delta = n`` (all bandwidth is open).
+    """
+    if n < 1:
+        raise ValueError("the class needs at least one open node")
+    if m == 0 and abs(delta - n) > 1e-12:
+        raise ValueError("with m = 0 tightness forces delta = n")
+    if not -1e-12 <= delta <= n + 1e-12:
+        raise ValueError(f"delta must lie in [0, n], got {delta}")
+    if m - 1 + delta < -1e-12:
+        raise ValueError("delta too small: open bandwidth would be negative")
+    o = max(0.0, (m - 1 + delta) / n)
+    guarded = tuple([max(0.0, (n - delta)) / m] * m) if m else ()
+    return Instance(1.0, tuple([o] * n), guarded)

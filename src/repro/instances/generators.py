@@ -1,0 +1,167 @@
+"""Random instance generators for the average-case study (Appendix XII).
+
+The paper evaluates the acyclic/cyclic throughput ratio on random
+instances drawn from six bandwidth distributions:
+
+* ``Unif100`` — uniform on [1, 100];
+* ``Power1`` / ``Power2`` — Pareto with mean 100 and standard deviation
+  100 / 1000;
+* ``LN1`` / ``LN2`` — log-normal with mean 100 and standard deviation
+  100 / 1000;
+* ``PLab`` — uniform resampling of (here: synthetic, see
+  :mod:`repro.instances.planetlab`) PlanetLab measurements.
+
+Each node is independently open with probability ``p`` and guarded with
+probability ``1 - p``.  "In order to concentrate on difficult instances,
+the bandwidth of the source node is chosen equal to the optimal cyclic
+throughput": :func:`saturating_source_bw` solves the fixed point
+``b0 = T*(b0)`` in closed form so that the source is neither a bottleneck
+nor sufficient by itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from .planetlab import sample_planetlab
+
+__all__ = [
+    "uniform_bandwidths",
+    "pareto_bandwidths",
+    "lognormal_bandwidths",
+    "pareto_params",
+    "lognormal_params",
+    "DISTRIBUTIONS",
+    "saturating_source_bw",
+    "random_instance",
+]
+
+
+def uniform_bandwidths(
+    rng: np.random.Generator, size: int, low: float = 1.0, high: float = 100.0
+) -> np.ndarray:
+    """The paper's ``Unif100``: uniform on [1, 100]."""
+    return rng.uniform(low, high, size=size)
+
+
+def pareto_params(mean: float, std: float) -> tuple[float, float]:
+    """Shape/scale of a (classical) Pareto with given mean and std.
+
+    For shape ``a`` and scale ``x_m``: ``mean = a x_m / (a - 1)`` and
+    ``var / mean^2 = 1 / (a (a - 2))``, so
+    ``a = 1 + sqrt(1 + (mean/std)^2)`` (always > 2, finite variance) and
+    ``x_m = mean (a - 1) / a``.
+    """
+    if mean <= 0 or std <= 0:
+        raise ValueError("mean and std must be positive")
+    ratio = mean / std
+    shape = 1.0 + math.sqrt(1.0 + ratio * ratio)
+    scale = mean * (shape - 1.0) / shape
+    return shape, scale
+
+
+def pareto_bandwidths(
+    rng: np.random.Generator, size: int, mean: float = 100.0, std: float = 100.0
+) -> np.ndarray:
+    """Pareto (power-law) bandwidths — ``Power1``/``Power2``.
+
+    numpy's ``Generator.pareto(a)`` samples the Lomax distribution
+    (classical Pareto shifted to start at 0), so the classical Pareto is
+    ``x_m * (1 + Lomax)``.
+    """
+    shape, scale = pareto_params(mean, std)
+    return scale * (1.0 + rng.pareto(shape, size=size))
+
+
+def lognormal_params(mean: float, std: float) -> tuple[float, float]:
+    """(mu, sigma) of a log-normal with given mean and std."""
+    if mean <= 0 or std <= 0:
+        raise ValueError("mean and std must be positive")
+    sigma2 = math.log(1.0 + (std / mean) ** 2)
+    mu = math.log(mean) - sigma2 / 2.0
+    return mu, math.sqrt(sigma2)
+
+
+def lognormal_bandwidths(
+    rng: np.random.Generator, size: int, mean: float = 100.0, std: float = 100.0
+) -> np.ndarray:
+    """Log-normal bandwidths — ``LN1``/``LN2``."""
+    mu, sigma = lognormal_params(mean, std)
+    return rng.lognormal(mu, sigma, size=size)
+
+
+#: The six named distributions of Figure 19 (name -> sampler(rng, size)).
+DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "Unif100": lambda rng, size: uniform_bandwidths(rng, size),
+    "Power1": lambda rng, size: pareto_bandwidths(rng, size, 100.0, 100.0),
+    "Power2": lambda rng, size: pareto_bandwidths(rng, size, 100.0, 1000.0),
+    "LN1": lambda rng, size: lognormal_bandwidths(rng, size, 100.0, 100.0),
+    "LN2": lambda rng, size: lognormal_bandwidths(rng, size, 100.0, 1000.0),
+    "PLab": sample_planetlab,
+}
+
+
+def saturating_source_bw(
+    open_bws: Sequence[float], guarded_bws: Sequence[float]
+) -> float:
+    """The source bandwidth solving ``b0 = T*`` (Appendix XII protocol).
+
+    With ``O`` the open and ``G`` the guarded bandwidth sum, the cyclic
+    optimum is ``min(b0, (b0+O)/m, (b0+O+G)/(n+m))``; the fixed point
+    ``b0 = T*(b0)`` is
+
+        ``b0 = min( O/(m-1)  [when m >= 2],  (O+G)/(n+m-1)  [n+m >= 2] )``
+
+    since ``b0 <= (b0+O)/m`` iff ``b0 <= O/(m-1)`` etc.  For degenerate
+    shapes (``n + m <= 1``) any ``b0`` satisfies ``T* = b0``; the mean node
+    bandwidth (or 1.0) is returned as a sensible default.
+    """
+    n, m = len(open_bws), len(guarded_bws)
+    O = math.fsum(open_bws)
+    G = math.fsum(guarded_bws)
+    candidates = []
+    if m >= 2:
+        candidates.append(O / (m - 1))
+    if n + m >= 2:
+        candidates.append((O + G) / (n + m - 1))
+    if candidates:
+        return min(candidates)
+    total = O + G
+    return total / (n + m) if n + m else 1.0
+
+
+def random_instance(
+    rng: np.random.Generator,
+    size: int,
+    open_prob: float,
+    distribution: str | Callable[[np.random.Generator, int], np.ndarray],
+    *,
+    source_bw: Optional[float] = None,
+) -> Instance:
+    """Sample one Figure 19 instance.
+
+    ``size`` receivers are drawn from ``distribution`` (a name from
+    :data:`DISTRIBUTIONS` or a sampler), each independently open with
+    probability ``open_prob``.  ``source_bw`` defaults to the saturating
+    fixed point ``b0 = T*``.
+    """
+    if not 0.0 <= open_prob <= 1.0:
+        raise ValueError(f"open_prob must be in [0, 1], got {open_prob}")
+    sampler = (
+        DISTRIBUTIONS[distribution]
+        if isinstance(distribution, str)
+        else distribution
+    )
+    bws = np.asarray(sampler(rng, size), dtype=float)
+    if bws.shape != (size,):
+        raise ValueError("distribution sampler returned a wrong-shaped array")
+    is_open = rng.random(size) < open_prob
+    open_bws = tuple(bws[is_open])
+    guarded_bws = tuple(bws[~is_open])
+    if source_bw is None:
+        source_bw = saturating_source_bw(open_bws, guarded_bws)
+    return Instance(source_bw, open_bws, guarded_bws)

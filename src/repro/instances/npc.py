@@ -1,0 +1,214 @@
+"""The 3-PARTITION reduction of Theorem 3.1 (Figure 8).
+
+Finding an optimal broadcast scheme that also meets the *strict* degree
+bound ``o_i <= ceil(b_i / T)`` is strongly NP-complete.  The reduction
+maps a 3-PARTITION instance (``3p`` integers in ``(T/4, T/2)`` summing to
+``p T``; question: can they be split into ``p`` triples each summing to
+``T``?) to a broadcast instance where *no bandwidth can be wasted*:
+
+* source with ``b0 = 3 p T`` (must feed all ``3p`` intermediate nodes at
+  exactly rate ``T``, using exactly its ``ceil(b0/T) = 3p`` connections),
+* ``3p`` intermediate open nodes with ``b_i = a_i`` (each must spend its
+  whole bandwidth on exactly one client, since ``ceil(a_i/T) = 1``),
+* ``p`` final nodes with ``b = 0``.
+
+A strict-degree scheme of throughput ``T`` exists iff the triples exist.
+This module builds the gadget, converts a partition into a witness scheme,
+verifies witness schemes, and brute-forces small instances so the
+equivalence can be demonstrated end to end (``examples/npc_reduction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.numerics import safe_ceil_div
+from ..core.scheme import BroadcastScheme
+
+__all__ = [
+    "ThreePartition",
+    "reduction_instance",
+    "scheme_from_partition",
+    "verify_strict_degree_scheme",
+    "brute_force_three_partition",
+    "random_yes_instance",
+]
+
+
+@dataclass(frozen=True)
+class ThreePartition:
+    """A 3-PARTITION instance: ``3p`` integers, target triple-sum ``target``.
+
+    Values are kept sorted descending so they align with the canonical
+    node ordering of the reduction instance.
+    """
+
+    values: tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        vals = tuple(sorted((int(v) for v in self.values), reverse=True))
+        object.__setattr__(self, "values", vals)
+        if len(vals) % 3 != 0 or not vals:
+            raise InvalidInstanceError("3-PARTITION needs 3p values, p >= 1")
+        p = len(vals) // 3
+        if sum(vals) != p * self.target:
+            raise InvalidInstanceError(
+                f"values sum to {sum(vals)}, expected p*T = {p * self.target}"
+            )
+        for v in vals:
+            if not self.target / 4.0 < v < self.target / 2.0:
+                raise InvalidInstanceError(
+                    f"value {v} outside the open interval (T/4, T/2) = "
+                    f"({self.target / 4}, {self.target / 2})"
+                )
+
+    @property
+    def p(self) -> int:
+        return len(self.values) // 3
+
+
+def reduction_instance(problem: ThreePartition) -> Instance:
+    """The Figure 8 gadget (all nodes open).
+
+    Canonical node layout: source = 0; intermediates = ``1..3p`` (values
+    descending); finals = ``3p+1..4p`` (bandwidth 0).
+    """
+    p = problem.p
+    open_bws = tuple(float(v) for v in problem.values) + (0.0,) * p
+    return Instance(3.0 * p * problem.target, open_bws, ())
+
+
+def scheme_from_partition(
+    problem: ThreePartition, triples: Sequence[Sequence[int]]
+) -> BroadcastScheme:
+    """Witness scheme from a solution (indices into ``problem.values``).
+
+    The source feeds every intermediate at rate ``T``; the three
+    intermediates of triple ``j`` pour their full bandwidth into final
+    node ``3p + 1 + j``.
+    """
+    p = problem.p
+    seen = sorted(i for triple in triples for i in triple)
+    if seen != list(range(3 * p)):
+        raise InvalidInstanceError("triples must partition the 3p indices")
+    for triple in triples:
+        if len(triple) != 3 or sum(problem.values[i] for i in triple) != (
+            problem.target
+        ):
+            raise InvalidInstanceError(
+                f"triple {tuple(triple)} does not sum to {problem.target}"
+            )
+    inst = reduction_instance(problem)
+    scheme = BroadcastScheme.for_instance(inst)
+    for i in range(3 * p):
+        scheme.set_rate(0, 1 + i, float(problem.target))
+    for j, triple in enumerate(triples):
+        final = 3 * p + 1 + j
+        for i in triple:
+            scheme.set_rate(1 + i, final, float(problem.values[i]))
+    return scheme
+
+
+def verify_strict_degree_scheme(
+    problem: ThreePartition, scheme: BroadcastScheme
+) -> bool:
+    """Check a scheme certifies the 3-PARTITION instance.
+
+    Conditions (all from the reduction's forward direction): model validity
+    on the gadget, throughput ``T`` to every receiver, and the *strict*
+    degree bound ``o_i <= ceil(b_i / T)``.
+    """
+    from ..core.throughput import scheme_throughput
+
+    inst = reduction_instance(problem)
+    try:
+        scheme.validate(inst)
+    except Exception:
+        return False
+    t = float(problem.target)
+    if scheme_throughput(scheme, inst) < t * (1 - 1e-9):
+        return False
+    for i in range(inst.num_nodes):
+        if scheme.outdegree(i) > safe_ceil_div(inst.bandwidth(i), t):
+            return False
+    return True
+
+
+def brute_force_three_partition(
+    problem: ThreePartition,
+) -> Optional[list[tuple[int, int, int]]]:
+    """Exact backtracking solver (for demo-sized ``p``).
+
+    Returns the triples (as index tuples) or None.  Always takes the
+    smallest unassigned index first, which prunes symmetric branches.
+    """
+    values = problem.values
+    target = problem.target
+    k = len(values)
+    used = [False] * k
+    triples: list[tuple[int, int, int]] = []
+
+    def backtrack() -> bool:
+        try:
+            first = used.index(False)
+        except ValueError:
+            return True
+        used[first] = True
+        for second in range(first + 1, k):
+            if used[second]:
+                continue
+            if values[first] + values[second] >= target:
+                continue  # values are sorted descending: third would be <= 0
+            used[second] = True
+            for third in range(second + 1, k):
+                if used[third] or values[first] + values[second] + values[
+                    third
+                ] != target:
+                    continue
+                used[third] = True
+                triples.append((first, second, third))
+                if backtrack():
+                    return True
+                triples.pop()
+                used[third] = False
+            used[second] = False
+        used[first] = False
+        return False
+
+    if backtrack():
+        return list(triples)
+    return None
+
+
+def random_yes_instance(
+    rng: np.random.Generator, p: int, target: int = 100
+) -> tuple[ThreePartition, list[tuple[int, int, int]]]:
+    """A solvable 3-PARTITION instance plus one planted solution.
+
+    Each planted triple ``(a, b, T - a - b)`` is sampled uniformly from
+    the integer triples satisfying the ``(T/4, T/2)`` window.  The
+    returned solution is re-indexed to the sorted value order used by
+    :class:`ThreePartition`.
+    """
+    if target % 4 != 0:
+        raise ValueError("pick a target divisible by 4 for a clean window")
+    lo, hi = target // 4 + 1, (target - 1) // 2  # open interval, integers
+    values: list[int] = []
+    for _ in range(p):
+        while True:
+            a = int(rng.integers(lo, hi + 1))
+            b = int(rng.integers(lo, hi + 1))
+            c = target - a - b
+            if lo <= c <= hi:
+                values.extend((a, b, c))
+                break
+    problem = ThreePartition(tuple(values), target)
+    solution = brute_force_three_partition(problem)
+    assert solution is not None  # planted, hence solvable
+    return problem, solution

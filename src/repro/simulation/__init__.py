@@ -1,0 +1,11 @@
+"""Transport-layer simulators validating constructed overlays."""
+
+from .fluid import FluidSchedule, fluid_schedule
+from .packet_sim import PacketSimResult, simulate_packet_broadcast
+
+__all__ = [
+    "simulate_packet_broadcast",
+    "PacketSimResult",
+    "fluid_schedule",
+    "FluidSchedule",
+]

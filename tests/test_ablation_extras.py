@@ -1,0 +1,135 @@
+"""Tests for the additional ablations (source sensitivity) and edge-case
+robustness sweeps of the core oracles."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Instance,
+    acyclic_guarded_scheme,
+    cyclic_optimum,
+    greedy_test,
+    optimal_acyclic_throughput,
+    scheme_throughput,
+)
+from repro.experiments.ablations import source_sensitivity
+
+
+class TestSourceSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return source_sensitivity(
+            factors=(0.5, 1.0, 3.0), size=30, reps=12, seed=19
+        )
+
+    def test_starved_source_trivializes(self, rows):
+        """factor < 1: the source binds both optima, the ratio is 1."""
+        starved = next(r for r in rows if r.source_factor == 0.5)
+        assert starved.min_ratio == pytest.approx(1.0, abs=1e-9)
+
+    def test_saturating_factor_exposes_the_gap(self, rows):
+        saturated = next(r for r in rows if r.source_factor == 1.0)
+        assert saturated.min_ratio < 1.0
+
+    def test_ratios_stay_high(self, rows):
+        for r in rows:
+            assert r.mean_ratio > 0.95
+
+
+class TestTiesAndDegenerateBandwidths:
+    """Edge cases the proofs gloss over but an implementation must survive."""
+
+    def test_all_equal_bandwidths(self):
+        inst = Instance(5.0, (5.0, 5.0, 5.0), (5.0, 5.0, 5.0))
+        t, word = optimal_acyclic_throughput(inst)
+        sol = acyclic_guarded_scheme(inst, t * (1 - 1e-9))
+        sol.scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(sol.scheme, inst) >= t * (1 - 1e-6)
+
+    def test_zero_bandwidth_receivers(self):
+        inst = Instance(9.0, (0.0, 0.0), (0.0,))
+        t, word = optimal_acyclic_throughput(inst)
+        # everyone fed directly by the source: T = b0 / 3
+        assert t == pytest.approx(3.0, rel=1e-9)
+        sol = acyclic_guarded_scheme(inst)
+        assert sol.scheme.outdegree(0) == 3
+
+    def test_zero_bandwidth_source(self):
+        inst = Instance(0.0, (5.0,), (5.0,))
+        t, _ = optimal_acyclic_throughput(inst)
+        assert t == 0.0
+        sol = acyclic_guarded_scheme(inst)
+        assert sol.scheme.num_edges == 0
+
+    def test_single_guarded_node(self):
+        inst = Instance(2.0, (), (7.0,))
+        t, word = optimal_acyclic_throughput(inst)
+        assert t == pytest.approx(2.0)
+        assert word == "g"
+
+    def test_guarded_bandwidth_useless_without_open(self):
+        """With no open receivers, guarded bandwidth cannot be spent."""
+        rich = Instance(2.0, (), (100.0, 100.0))
+        poor = Instance(2.0, (), (0.0, 0.0))
+        assert optimal_acyclic_throughput(rich)[0] == pytest.approx(
+            optimal_acyclic_throughput(poor)[0]
+        )
+
+    def test_large_magnitudes(self):
+        inst = Instance(6e6, (5e6, 5e6), (4e6, 1e6, 1e6))
+        t, word = optimal_acyclic_throughput(inst)
+        assert t == pytest.approx(4e6, rel=1e-9)
+        assert word == "gogog"
+
+    def test_tiny_magnitudes(self):
+        inst = Instance(6e-6, (5e-6, 5e-6), (4e-6, 1e-6, 1e-6))
+        t, word = optimal_acyclic_throughput(inst)
+        assert t == pytest.approx(4e-6, rel=1e-6)
+
+    def test_extreme_heterogeneity(self):
+        inst = Instance(1e6, tuple([1e-3] * 5), (1e6,))
+        t, _ = optimal_acyclic_throughput(inst)
+        assert 0 < t <= cyclic_optimum(inst)
+        sol = acyclic_guarded_scheme(inst, t * (1 - 1e-9))
+        sol.scheme.validate(inst, require_acyclic=True)
+
+    def test_greedy_tie_prefers_guarded(self):
+        """b_next_guarded == b_next_open: the paper's strict '<' keeps
+        the guarded node (line 9 of Algorithm 2)."""
+        inst = Instance(10.0, (4.0,), (4.0,))
+        res = greedy_test(inst, 4.0)
+        assert res.feasible
+        assert res.word[0] == "g"
+
+    def test_many_identical_guarded(self):
+        inst = Instance(10.0, (10.0,), tuple([1.0] * 10))
+        t, word = optimal_acyclic_throughput(inst)
+        sol = acyclic_guarded_scheme(inst, t * (1 - 1e-9))
+        sol.scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(sol.scheme, inst) >= t * (1 - 1e-6)
+
+
+class TestLargeScaleSmoke:
+    """The linear-time claims exercised at scale (seconds, not minutes)."""
+
+    def test_greedy_on_50k_nodes(self):
+        rng = np.random.default_rng(0)
+        bws = rng.uniform(1, 100, 50_000)
+        opens = tuple(bws[:30_000])
+        guardeds = tuple(bws[30_000:])
+        inst = Instance(1000.0, opens, guardeds)
+        res = greedy_test(inst, 50.0)
+        assert res.feasible in (True, False)  # completes quickly
+
+    def test_search_and_pack_on_5k_nodes(self):
+        rng = np.random.default_rng(1)
+        bws = rng.uniform(1, 100, 5_000)
+        inst = Instance(
+            float(np.sum(bws[:2500]) / 2000),
+            tuple(bws[:2500]),
+            tuple(bws[2500:]),
+        )
+        t, word = optimal_acyclic_throughput(inst)
+        sol = acyclic_guarded_scheme(inst, t * (1 - 1e-9))
+        assert scheme_throughput(sol.scheme, inst) >= t * (1 - 1e-6)
+        assert sol.scheme.check_degree_bounds(inst, t, 3) == []

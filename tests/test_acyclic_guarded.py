@@ -1,0 +1,245 @@
+"""Tests for Theorem 4.1: dichotomic search, the Lemma 4.6 packing, and
+the per-class degree guarantees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    InfeasibleThroughputError,
+    Instance,
+    acyclic_guarded_scheme,
+    acyclic_open_optimum,
+    cyclic_optimum,
+    optimal_acyclic_throughput,
+    order_lp_throughput,
+    scheme_from_word,
+    scheme_throughput,
+)
+from repro.core.numerics import safe_ceil_div
+
+from .conftest import instances, open_instances
+
+
+@pytest.fixture
+def fig1():
+    return Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+
+
+class TestDichotomicSearch:
+    def test_fig1_value_and_word(self, fig1):
+        t, word = optimal_acyclic_throughput(fig1)
+        assert t == pytest.approx(4.0, rel=1e-9)
+        assert word == "gogog"
+
+    def test_open_only_matches_closed_form(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0, 1.0))
+        t, word = optimal_acyclic_throughput(inst)
+        assert t == pytest.approx(acyclic_open_optimum(inst), rel=1e-9)
+        assert word == "oooo"
+
+    def test_no_receivers(self):
+        t, word = optimal_acyclic_throughput(Instance(3.0))
+        assert t == float("inf")
+        assert word == ""
+
+    def test_zero_bandwidth_source(self):
+        t, _ = optimal_acyclic_throughput(Instance(0.0, (5.0,), ()))
+        assert t == 0.0
+
+    def test_short_circuit_when_cyclic_optimum_acyclic(self):
+        # a star-feasible instance: acyclic achieves the cyclic optimum
+        inst = Instance(10.0, (0.0, 0.0), ())
+        t, _ = optimal_acyclic_throughput(inst)
+        assert t == pytest.approx(cyclic_optimum(inst))
+
+    @given(instances())
+    def test_result_bracketed(self, inst):
+        t, word = optimal_acyclic_throughput(inst)
+        if inst.num_receivers == 0:
+            return
+        assert 0.0 <= t <= cyclic_optimum(inst) + 1e-9
+        if t > 0:
+            from repro import is_valid_word
+
+            assert is_valid_word(inst, word, t, slack=1e-9 * t)
+
+    @given(instances(max_open=4, max_guarded=4))
+    def test_matches_order_lp_on_own_word(self, inst):
+        """The dichotomic optimum equals the LP optimum of its own word
+        (conservative feeding is dominant for a fixed order, Lemma 4.3)."""
+        t, word = optimal_acyclic_throughput(inst)
+        if inst.num_receivers == 0 or t == float("inf"):
+            return
+        t_lp = order_lp_throughput(inst, word)
+        assert t == pytest.approx(t_lp, rel=1e-6, abs=1e-9)
+
+
+class TestSchemeFromWord:
+    def test_figure2_scheme_reproduced(self, fig1):
+        scheme = scheme_from_word(fig1, "googg", 4.0)
+        expected = {
+            (0, 3): 4.0,
+            (3, 1): 4.0,
+            (0, 2): 2.0,
+            (1, 2): 2.0,
+            (1, 4): 3.0,
+            (2, 4): 1.0,
+            (2, 5): 4.0,
+        }
+        assert {(i, j): r for i, j, r in scheme.edges()} == pytest.approx(
+            expected
+        )
+
+    def test_figure5_scheme_valid(self, fig1):
+        scheme = scheme_from_word(fig1, "gogog", 4.0)
+        scheme.validate(fig1, require_acyclic=True)
+        assert scheme_throughput(scheme, fig1) == pytest.approx(4.0)
+
+    def test_every_node_receives_exactly_t(self, fig1):
+        scheme = scheme_from_word(fig1, "gogog", 4.0)
+        rates = scheme.in_rates()
+        for v in fig1.receivers():
+            assert rates[v] == pytest.approx(4.0)
+
+    def test_invalid_word_raises(self, fig1):
+        # 'ggg...' first would need 3*4 = 12 > b0 = 6 of source bandwidth
+        with pytest.raises(InfeasibleThroughputError):
+            scheme_from_word(fig1, "gggoo", 4.0)
+
+    def test_zero_rate_empty(self, fig1):
+        assert scheme_from_word(fig1, "gogog", 0.0).num_edges == 0
+
+    def test_wrong_word_shape_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            scheme_from_word(fig1, "gog", 1.0)
+
+    @given(instances(max_open=5, max_guarded=5))
+    def test_packing_achieves_search_optimum(self, inst):
+        t, word = optimal_acyclic_throughput(inst)
+        if inst.num_receivers == 0 or t <= 0 or t == float("inf"):
+            return
+        scheme = scheme_from_word(inst, word, t)
+        scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(scheme, inst) >= t * (1 - 1e-6)
+
+
+class TestDegreeGuarantees:
+    """Theorem 4.1: guarded +1; one open node +3; other opens +2."""
+
+    def _check(self, inst, scheme, t):
+        if t <= 0:
+            return
+        over_two = 0
+        for i in range(inst.num_nodes):
+            deg = scheme.outdegree(i)
+            base = safe_ceil_div(inst.bandwidth(i), t)
+            if inst.is_guarded(i):
+                assert deg <= base + 1, f"guarded node {i}: {deg} > {base}+1"
+            else:
+                assert deg <= base + 3, f"open node {i}: {deg} > {base}+3"
+                if deg > base + 2:
+                    over_two += 1
+        assert over_two <= 1, "more than one open node above ceil+2"
+
+    def test_fig1(self, fig1):
+        sol = acyclic_guarded_scheme(fig1)
+        self._check(fig1, sol.scheme, sol.throughput)
+
+    @given(instances(max_open=8, max_guarded=8))
+    def test_random_instances(self, inst):
+        if inst.num_receivers == 0:
+            return
+        sol = acyclic_guarded_scheme(inst)
+        if sol.throughput == float("inf"):
+            return
+        sol.scheme.validate(inst, require_acyclic=True)
+        self._check(inst, sol.scheme, sol.throughput)
+
+    @given(open_instances())
+    def test_open_only_through_pipeline(self, inst):
+        sol = acyclic_guarded_scheme(inst)
+        sol.scheme.validate(inst, require_acyclic=True)
+        self._check(inst, sol.scheme, sol.throughput)
+
+
+class TestPipeline:
+    def test_explicit_target(self, fig1):
+        sol = acyclic_guarded_scheme(fig1, 3.0)
+        assert sol.throughput == 3.0
+        assert scheme_throughput(sol.scheme, fig1) >= 3.0 - 1e-9
+
+    def test_infeasible_target_raises(self, fig1):
+        with pytest.raises(InfeasibleThroughputError):
+            acyclic_guarded_scheme(fig1, 4.2)
+
+    def test_custom_word(self, fig1):
+        sol = acyclic_guarded_scheme(fig1, 4.0, word="googg")
+        assert sol.word == "googg"
+        assert scheme_throughput(sol.scheme, fig1) == pytest.approx(4.0)
+
+    def test_invalid_custom_word_raises(self, fig1):
+        with pytest.raises(InfeasibleThroughputError):
+            acyclic_guarded_scheme(fig1, 4.0, word="gggoo")
+
+
+class TestConservativeness:
+    """Schemes from the packing are conservative (Lemma 4.3 semantics):
+    no open->open transfer while an earlier guarded node still has unused
+    bandwidth that could have served the same receiver."""
+
+    def _is_conservative(self, inst, scheme, order):
+        pos = {node: k for k, node in enumerate(order)}
+        for j, k, rate in scheme.edges():
+            if not (inst.is_open(j) and inst.is_open(k)) or rate <= 0:
+                continue
+            for i in order:
+                if not inst.is_guarded(i) or pos[i] >= pos[k]:
+                    continue
+                # bandwidth of guarded i spent on nodes up to position k
+                spent = sum(
+                    scheme.rate(i, order[l])
+                    for l in range(pos[i] + 1, pos[k] + 1)
+                )
+                if spent < inst.bandwidth(i) - 1e-9:
+                    return False
+        return True
+
+    def test_fig2_scheme_conservative(self, fig1):
+        from repro import word_to_order
+
+        scheme = scheme_from_word(fig1, "googg", 4.0)
+        assert self._is_conservative(
+            fig1, scheme, word_to_order(fig1, "googg")
+        )
+
+    def test_figure4_style_scheme_not_conservative(self, fig1):
+        """The paper's Figure 4 counter-example: C1 takes source bandwidth
+        while guarded C3 still has spare upload."""
+        from repro import BroadcastScheme, word_to_order
+
+        scheme = BroadcastScheme.from_edges(
+            6,
+            [
+                (0, 3, 4.0),
+                (0, 1, 2.0),  # open->open while C3 has spare bandwidth
+                (3, 1, 2.0),
+                (3, 2, 2.0),
+                (1, 2, 2.0),
+                (1, 4, 3.0),
+                (2, 4, 1.0),
+                (2, 5, 4.0),
+            ],
+        )
+        assert not self._is_conservative(
+            fig1, scheme, word_to_order(fig1, "googg")
+        )
+
+    @given(instances(max_open=5, max_guarded=5))
+    def test_packing_always_conservative(self, inst):
+        from repro import word_to_order
+
+        t, word = optimal_acyclic_throughput(inst)
+        if inst.num_receivers == 0 or t <= 0 or t == float("inf"):
+            return
+        scheme = scheme_from_word(inst, word, t)
+        assert self._is_conservative(inst, scheme, word_to_order(inst, word))

@@ -1,0 +1,157 @@
+"""Tests for Algorithm 1 (Section III-B) and its partial-run variant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    InfeasibleThroughputError,
+    Instance,
+    acyclic_open_optimum,
+    acyclic_open_scheme,
+    cyclic_open_optimum,
+    deficit_index,
+    partial_run,
+    scheme_throughput,
+)
+
+from .conftest import open_instances
+
+
+class TestDeficitIndex:
+    def test_none_when_feasible(self):
+        inst = Instance.open_only(6.0, (5.0, 3.0))
+        assert deficit_index(inst, 5.5) is None
+
+    def test_source_shortfall_is_index_one(self):
+        inst = Instance.open_only(2.0, (5.0, 3.0))
+        assert deficit_index(inst, 3.0) == 1
+
+    def test_paper_example(self):
+        # Appendix X-A: b = [5,5,4,4,4,3], T = 5 -> i0 = 3
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        assert deficit_index(inst, 5.0) == 3
+
+    def test_figure11_example(self):
+        # b = [5,5,3,2], T = 5 -> i0 = 3 (= n)
+        inst = Instance.open_only(5.0, (5.0, 3.0, 2.0))
+        assert deficit_index(inst, 5.0) == 3
+
+    def test_rejects_guarded_instances(self):
+        with pytest.raises(ValueError):
+            deficit_index(Instance(1.0, (), (1.0,)), 1.0)
+
+    def test_tolerant_at_exact_optimum(self):
+        inst = Instance.open_only(7.0, (3.0, 3.0, 3.0))
+        t = acyclic_open_optimum(inst)  # (7+3+3)/3
+        assert deficit_index(inst, t) is None
+
+
+class TestAlgorithm1:
+    def test_achieves_optimum_and_acyclic(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0, 1.0))
+        t = acyclic_open_optimum(inst)
+        scheme = acyclic_open_scheme(inst)
+        scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(scheme, inst) == pytest.approx(t)
+
+    def test_every_receiver_gets_exactly_t(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0, 1.0))
+        t = acyclic_open_optimum(inst)
+        scheme = acyclic_open_scheme(inst)
+        rates = scheme.in_rates()
+        for v in inst.receivers():
+            assert rates[v] == pytest.approx(t)
+
+    def test_degree_bound_plus_one(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0, 1.0))
+        t = acyclic_open_optimum(inst)
+        scheme = acyclic_open_scheme(inst)
+        assert scheme.check_degree_bounds(inst, t, 1) == []
+
+    def test_lower_target_accepted(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0))
+        scheme = acyclic_open_scheme(inst, 2.0)
+        scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(scheme, inst) == pytest.approx(2.0)
+
+    def test_above_optimum_rejected(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0))
+        with pytest.raises(InfeasibleThroughputError):
+            acyclic_open_scheme(inst, acyclic_open_optimum(inst) * 1.01)
+
+    def test_zero_target_gives_empty_scheme(self):
+        inst = Instance.open_only(10.0, (6.0,))
+        assert acyclic_open_scheme(inst, 0.0).num_edges == 0
+
+    def test_no_receivers(self):
+        assert acyclic_open_scheme(Instance(5.0)).num_edges == 0
+
+    def test_guarded_rejected(self):
+        with pytest.raises(ValueError):
+            acyclic_open_scheme(Instance(1.0, (), (1.0,)))
+
+    def test_single_receiver_source_limited(self):
+        inst = Instance.open_only(3.0, (100.0,))
+        scheme = acyclic_open_scheme(inst)
+        assert scheme.rate(0, 1) == pytest.approx(3.0)
+
+    @given(open_instances())
+    def test_random_instances_hit_optimum(self, inst):
+        t = acyclic_open_optimum(inst)
+        scheme = acyclic_open_scheme(inst)
+        scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(scheme, inst) >= t * (1 - 1e-9) - 1e-9
+        assert scheme.check_degree_bounds(inst, max(t, 1e-12), 1) == []
+
+    @given(open_instances(), st.floats(min_value=0.1, max_value=0.9))
+    def test_random_sub_optimal_targets(self, inst, frac):
+        t = acyclic_open_optimum(inst) * frac
+        scheme = acyclic_open_scheme(inst, t)
+        scheme.validate(inst, require_acyclic=True)
+        assert scheme_throughput(scheme, inst) >= t - 1e-9
+
+
+class TestPartialRun:
+    def test_complete_when_feasible(self):
+        inst = Instance.open_only(6.0, (5.0, 3.0))
+        sol = partial_run(inst, 4.0)
+        assert sol.deficit is None
+        assert sol.missing == 0.0
+
+    def test_paper_partial_solution(self):
+        # Figure 14: 2-partial solution, C3 misses M_3 = 1.
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        sol = partial_run(inst, 5.0)
+        assert sol.deficit == 3
+        assert sol.missing == pytest.approx(1.0)
+        rates = sol.scheme.in_rates()
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(5.0)
+        assert rates[3] == pytest.approx(4.0)  # T - M_3
+        assert rates[4] == 0.0
+
+    def test_senders_fully_spent(self):
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        sol = partial_run(inst, 5.0)
+        for i in range(sol.deficit):
+            assert sol.scheme.out_rate(i) == pytest.approx(inst.bandwidth(i))
+
+    @given(open_instances(max_open=8), st.floats(min_value=0.3, max_value=1.0))
+    def test_partial_invariants(self, inst, frac):
+        t = cyclic_open_optimum(inst) * frac
+        if t <= 0:
+            return
+        sol = partial_run(inst, t)
+        sol.scheme.validate(inst, require_acyclic=True)
+        if sol.deficit is None:
+            assert scheme_throughput(sol.scheme, inst) >= t - 1e-9
+        else:
+            i0 = sol.deficit
+            assert 2 <= i0 <= inst.n
+            assert 0 < sol.missing <= min(inst.bandwidth(i0), t) + 1e-9
+            rates = sol.scheme.in_rates()
+            for v in range(1, i0):
+                assert rates[v] == pytest.approx(t, rel=1e-9, abs=1e-9)
+            assert rates[i0] == pytest.approx(
+                t - sol.missing, rel=1e-9, abs=1e-9
+            )

@@ -1,0 +1,121 @@
+"""Tests for the broadcast-tree decomposition substrate."""
+
+import pytest
+from hypothesis import given
+
+from repro import (
+    BroadcastScheme,
+    DecompositionError,
+    Instance,
+    acyclic_guarded_scheme,
+    acyclic_open_scheme,
+    decompose_broadcast_trees,
+    verify_decomposition,
+)
+
+from .conftest import instances, open_instances
+
+
+class TestBasics:
+    def test_single_chain(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        trees = decompose_broadcast_trees(s)
+        verify_decomposition(s, trees, 2.0)
+        assert len(trees) == 1
+        assert trees[0].parent == (-1, 0, 1)
+        assert trees[0].weight == pytest.approx(2.0)
+
+    def test_two_parallel_trees(self):
+        s = BroadcastScheme.from_edges(
+            3,
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 1, 0.0)],
+        )
+        # node1 in-rate 1, node2 in-rate 2 -> unequal: must raise
+        with pytest.raises(DecompositionError):
+            decompose_broadcast_trees(s)
+
+    def test_diamond_equal_rates(self):
+        s = BroadcastScheme.from_edges(
+            4,
+            [
+                (0, 1, 2.0),
+                (0, 2, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+        trees = decompose_broadcast_trees(s)
+        verify_decomposition(s, trees, 2.0)
+
+    def test_cyclic_scheme_rejected(self):
+        s = BroadcastScheme.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0)]
+        )
+        with pytest.raises(DecompositionError, match="acyclic"):
+            decompose_broadcast_trees(s)
+
+    def test_empty_scheme(self):
+        assert decompose_broadcast_trees(BroadcastScheme(1)) == []
+        assert decompose_broadcast_trees(BroadcastScheme(3)) == []
+
+    def test_tree_depths(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        tree = decompose_broadcast_trees(s)[0]
+        assert tree.depth(0) == 0
+        assert tree.depth(2) == 2
+        assert tree.max_depth() == 2
+        assert tree.edges() == [(0, 1), (1, 2)]
+
+
+class TestVerifier:
+    def test_detects_wrong_total(self):
+        s = BroadcastScheme.from_edges(2, [(0, 1, 1.0)])
+        trees = decompose_broadcast_trees(s)
+        with pytest.raises(DecompositionError, match="sum"):
+            verify_decomposition(s, trees, 2.0)
+
+    def test_detects_overused_edge(self):
+        from repro.flows.arborescence import BroadcastTree
+
+        s = BroadcastScheme.from_edges(2, [(0, 1, 1.0)])
+        trees = [BroadcastTree(2.0, (-1, 0))]
+        with pytest.raises(DecompositionError):
+            verify_decomposition(s, trees, 2.0)
+
+    def test_detects_disconnected_tree(self):
+        from repro.flows.arborescence import BroadcastTree
+
+        s = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        bad = [BroadcastTree(1.0, (-1, 0, -1))]  # node 2 parentless
+        with pytest.raises(DecompositionError, match="connected"):
+            verify_decomposition(s, bad, 1.0)
+
+
+class TestOnConstructedSchemes:
+    """Every scheme our algorithms build decomposes exactly."""
+
+    @given(open_instances(max_open=8))
+    def test_algorithm1_schemes_decompose(self, inst):
+        from repro import acyclic_open_optimum
+
+        t = acyclic_open_optimum(inst)
+        if t <= 0:
+            return
+        scheme = acyclic_open_scheme(inst)
+        trees = decompose_broadcast_trees(scheme)
+        verify_decomposition(scheme, trees, t, rel_tol=1e-6)
+
+    @given(instances(max_open=6, max_guarded=6, min_receivers=1))
+    def test_word_packing_schemes_decompose(self, inst):
+        sol = acyclic_guarded_scheme(inst)
+        if sol.throughput <= 0 or sol.throughput == float("inf"):
+            return
+        trees = decompose_broadcast_trees(sol.scheme)
+        verify_decomposition(sol.scheme, trees, sol.throughput, rel_tol=1e-6)
+
+    def test_number_of_trees_bounded_by_edges(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0, 1.0))
+        scheme = acyclic_open_scheme(inst)
+        trees = decompose_broadcast_trees(scheme)
+        assert len(trees) <= scheme.num_edges

@@ -1,0 +1,105 @@
+"""Tests for the baseline overlay builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    Instance,
+    cyclic_optimum,
+    multi_tree_scheme,
+    random_instance,
+    random_tree_scheme,
+    scheme_throughput,
+    source_star_scheme,
+)
+
+from .conftest import instances
+
+
+@pytest.fixture
+def swarm():
+    rng = np.random.default_rng(0)
+    return random_instance(rng, 20, 0.6, "Unif100")
+
+
+class TestSourceStar:
+    def test_rate_split_evenly(self, swarm):
+        scheme = source_star_scheme(swarm)
+        scheme.validate(swarm)
+        t = scheme_throughput(scheme, swarm)
+        assert t == pytest.approx(swarm.source_bw / swarm.num_receivers)
+
+    def test_no_receivers(self):
+        assert source_star_scheme(Instance(1.0)).num_edges == 0
+
+    @given(instances(min_receivers=1))
+    def test_always_valid(self, inst):
+        scheme = source_star_scheme(inst)
+        scheme.validate(inst)
+
+
+class TestRandomTree:
+    def test_valid_and_positive(self, swarm):
+        scheme = random_tree_scheme(swarm, seed=1)
+        scheme.validate(swarm)
+        assert scheme.is_acyclic()
+        t = scheme_throughput(scheme, swarm)
+        assert t > 0
+
+    def test_every_receiver_has_one_parent(self, swarm):
+        scheme = random_tree_scheme(swarm, seed=1)
+        for v in swarm.receivers():
+            assert scheme.indegree(v) == 1
+
+    def test_firewall_respected(self):
+        rng = np.random.default_rng(5)
+        inst = random_instance(rng, 25, 0.3, "Unif100")
+        scheme = random_tree_scheme(inst, seed=2)
+        scheme.validate(inst)  # would raise on guarded->guarded
+
+    def test_fanout_cap_soft_limit(self, swarm):
+        scheme = random_tree_scheme(swarm, seed=1, fanout_cap=3)
+        # the cap can be exceeded only by the fallback path; degrees stay
+        # far below the uncapped star
+        assert max(scheme.outdegrees()) <= swarm.num_receivers
+
+    def test_deterministic_given_seed(self, swarm):
+        a = random_tree_scheme(swarm, seed=3)
+        b = random_tree_scheme(swarm, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_worse_than_optimal(self, swarm):
+        """Single trees waste leaf upload: strictly below the optimum."""
+        scheme = random_tree_scheme(swarm, seed=1)
+        assert scheme_throughput(scheme, swarm) < cyclic_optimum(swarm)
+
+
+class TestMultiTree:
+    def test_valid_and_beats_single_tree(self, swarm):
+        single = random_tree_scheme(swarm, seed=1)
+        multi = multi_tree_scheme(swarm, 4, seed=1)
+        multi.validate(swarm)
+        assert scheme_throughput(multi, swarm) >= scheme_throughput(
+            single, swarm
+        ) * 0.5  # not a theorem, but catches gross regressions
+
+    def test_degree_scales_with_trees(self, swarm):
+        k = 4
+        multi = multi_tree_scheme(swarm, k, seed=1)
+        single = random_tree_scheme(swarm, seed=1)
+        assert max(multi.outdegrees()) <= k * max(
+            max(single.outdegrees()), 1
+        ) * 2
+
+    def test_needs_positive_tree_count(self, swarm):
+        with pytest.raises(ValueError):
+            multi_tree_scheme(swarm, 0)
+
+    def test_no_receivers(self):
+        assert multi_tree_scheme(Instance(1.0), 3).num_edges == 0
+
+    @given(instances(min_receivers=1), st.integers(min_value=1, max_value=5))
+    def test_always_valid(self, inst, k):
+        scheme = multi_tree_scheme(inst, k, seed=0)
+        scheme.validate(inst)

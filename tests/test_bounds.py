@@ -1,0 +1,139 @@
+"""Tests for the closed-form bounds of repro.core.bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    FIVE_SEVENTHS,
+    THEOREM63_ALPHA,
+    THEOREM63_LIMIT,
+    Instance,
+    acyclic_open_optimum,
+    cyclic_open_optimum,
+    cyclic_optimum,
+    f_alpha,
+    g_alpha,
+    open_only_ratio_bound,
+    theorem63_acyclic_upper_bound,
+)
+
+from .conftest import instances, open_instances
+
+
+class TestAcyclicOpenOptimum:
+    def test_source_limited(self):
+        inst = Instance.open_only(1.0, (10.0, 10.0))
+        assert acyclic_open_optimum(inst) == 1.0
+
+    def test_bandwidth_limited(self):
+        # S_{n-1}/n = (6+5)/2 = 5.5 < b0
+        inst = Instance.open_only(6.0, (5.0, 3.0))
+        assert acyclic_open_optimum(inst) == pytest.approx(5.5)
+
+    def test_rejects_guarded(self):
+        with pytest.raises(ValueError):
+            acyclic_open_optimum(Instance(1.0, (), (1.0,)))
+
+    def test_no_receivers(self):
+        assert acyclic_open_optimum(Instance(1.0)) == float("inf")
+
+    def test_last_node_bandwidth_never_counts(self):
+        # the smallest node's bandwidth is excluded from S_{n-1}
+        a = Instance.open_only(100.0, (10.0, 1.0))
+        b = Instance.open_only(100.0, (10.0, 0.0))
+        assert acyclic_open_optimum(a) == acyclic_open_optimum(b)
+
+
+class TestCyclicOptimum:
+    def test_figure1_value(self):
+        inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+        # min(6, 16/3, 22/5) = 4.4
+        assert cyclic_optimum(inst) == pytest.approx(4.4)
+
+    def test_all_three_terms_can_bind(self):
+        # source-bound
+        assert cyclic_optimum(Instance(1.0, (100.0,), (100.0,))) == 1.0
+        # guarded-feeding bound: (b0 + O)/m
+        inst = Instance(10.0, (2.0,), (100.0, 100.0, 100.0))
+        assert cyclic_optimum(inst) == pytest.approx(4.0)
+        # total-bandwidth bound
+        inst = Instance(10.0, (1.0, 1.0), ())
+        assert cyclic_optimum(inst) == pytest.approx(6.0)
+
+    def test_open_only_drops_guarded_term(self):
+        # min(b0, (b0 + O)/n) = min(5, (5 + 3)/2) = 4
+        inst = Instance.open_only(5.0, (2.0, 1.0))
+        assert cyclic_open_optimum(inst) == pytest.approx(4.0)
+        assert cyclic_optimum(inst) == cyclic_open_optimum(inst)
+
+    def test_cyclic_open_rejects_guarded(self):
+        with pytest.raises(ValueError):
+            cyclic_open_optimum(Instance(1.0, (), (1.0,)))
+
+    def test_no_receivers(self):
+        assert cyclic_optimum(Instance(3.0)) == float("inf")
+
+    @given(instances())
+    def test_cyclic_at_least_acyclic_open_relaxation(self, inst):
+        """Dropping the firewall can only help: T*(I) <= T*(all-open I)."""
+        t = cyclic_optimum(inst)
+        t_relaxed = cyclic_optimum(inst.all_open())
+        assert t <= t_relaxed + 1e-9
+
+    @given(open_instances())
+    def test_acyclic_never_exceeds_cyclic(self, inst):
+        assert acyclic_open_optimum(inst) <= cyclic_open_optimum(inst) + 1e-9
+
+    @given(open_instances(), st.floats(min_value=0.5, max_value=2.0))
+    def test_scale_invariance(self, inst, factor):
+        scaled = inst.scaled(factor)
+        assert math.isclose(
+            cyclic_optimum(scaled),
+            cyclic_optimum(inst) * factor,
+            rel_tol=1e-9,
+        )
+
+
+class TestRatioBounds:
+    def test_theorem61_bound_values(self):
+        assert open_only_ratio_bound(2) == pytest.approx(0.5)
+        assert open_only_ratio_bound(10) == pytest.approx(0.9)
+
+    def test_theorem61_needs_receivers(self):
+        with pytest.raises(ValueError):
+            open_only_ratio_bound(0)
+
+    def test_five_sevenths_constant(self):
+        assert FIVE_SEVENTHS == pytest.approx(5.0 / 7.0)
+
+    def test_theorem63_constants_satisfy_the_equations(self):
+        # alpha is the positive root of f_alpha(2) = g_alpha(3):
+        # (2a+1)/2 = (3a + 1/a + 1)/5  =>  4a^2 + 3a - 2/2... checked
+        # numerically: both evaluate to the limit.
+        a = THEOREM63_ALPHA
+        assert f_alpha(a, 2) == pytest.approx(THEOREM63_LIMIT)
+        assert g_alpha(a, 3) == pytest.approx(THEOREM63_LIMIT)
+
+    def test_theorem63_bound_at_witness(self):
+        assert theorem63_acyclic_upper_bound(THEOREM63_ALPHA) == pytest.approx(
+            THEOREM63_LIMIT
+        )
+
+    def test_theorem63_bound_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            theorem63_acyclic_upper_bound(1.5)
+        with pytest.raises(ValueError):
+            theorem63_acyclic_upper_bound(0.0)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_theorem63_bound_at_least_five_sevenths(self, alpha):
+        """Theorem 6.2 implies no alpha can push the bound below 5/7."""
+        assert theorem63_acyclic_upper_bound(alpha) >= FIVE_SEVENTHS - 1e-9
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_f_and_g_cross_at_inverse_alpha(self, alpha):
+        x = 1.0 / alpha
+        assert f_alpha(alpha, x) == pytest.approx(1.0)
+        assert g_alpha(alpha, x) == pytest.approx(1.0)

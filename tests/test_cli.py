@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve"])
+
+    def test_full_flag_parsed(self):
+        args = build_parser().parse_args(["figure7", "--full"])
+        assert args.full
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "T* (Lemma 5.1)" in out
+        assert "gogog" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "matches the paper exactly" in capsys.readouterr().out
+
+    def test_solve_acyclic(self, capsys):
+        rc = main(
+            ["solve", "--source", "6", "--open", "5", "5",
+             "--guarded", "4", "1", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.1" in out
+        assert "degree_excess" in out
+
+    def test_solve_with_rate(self, capsys):
+        rc = main(["solve", "--source", "6", "--open", "5", "5",
+                   "--guarded", "4", "1", "1", "--rate", "3.0"])
+        assert rc == 0
+        assert "rate 3" in capsys.readouterr().out
+
+    def test_solve_cyclic(self, capsys):
+        rc = main(["solve", "--source", "5", "--open", "5", "4", "4",
+                   "--cyclic"])
+        assert rc == 0
+        assert "Theorem 5.2" in capsys.readouterr().out
+
+    def test_solve_cyclic_rejects_guarded(self, capsys):
+        rc = main(["solve", "--source", "5", "--open", "5",
+                   "--guarded", "1", "--cyclic"])
+        assert rc == 2
+        assert "open-only" in capsys.readouterr().err
+
+    def test_worstcase(self, capsys):
+        assert main(["worstcase"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Figure 18" in out
+        assert "Theorem 6.3" in out
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "demo"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "gogog" in proc.stdout

@@ -1,0 +1,139 @@
+"""Tests for the Theorem 5.2 cyclic construction (Section V)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    InfeasibleThroughputError,
+    Instance,
+    acyclic_open_optimum,
+    cyclic_open_optimum,
+    cyclic_open_scheme,
+    scheme_throughput,
+)
+
+from .conftest import open_instances
+
+
+class TestWorkedExample:
+    """Appendix X-A: b = [5,5,4,4,4,3], T = 5, i0 = 3 (Figures 14-17)."""
+
+    def setup_method(self):
+        self.inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        self.scheme = cyclic_open_scheme(self.inst, 5.0)
+
+    def test_matches_figure17_edges(self):
+        expected = {
+            (0, 1): 4.0,
+            (0, 3): 1.0,
+            (1, 2): 5.0,
+            (2, 3): 3.0,
+            (2, 4): 1.0,
+            (3, 4): 2.0,
+            (3, 5): 2.0,
+            (4, 1): 1.0,
+            (4, 5): 3.0,
+            (5, 3): 1.0,
+            (5, 4): 2.0,
+        }
+        assert {
+            (i, j): r for i, j, r in self.scheme.edges()
+        } == pytest.approx(expected)
+
+    def test_maxflow_throughput_is_5(self):
+        assert scheme_throughput(
+            self.scheme, self.inst, method="maxflow"
+        ) == pytest.approx(5.0)
+
+    def test_is_cyclic(self):
+        assert not self.scheme.is_acyclic()
+
+    def test_degree_bounds(self):
+        assert self.scheme.check_degree_bounds(self.inst, 5.0, 2, floor=4) == []
+
+    def test_beats_acyclic_optimum(self):
+        assert acyclic_open_optimum(self.inst) < 5.0
+
+
+class TestFigure12Example:
+    """b = [5,5,3,2], T = 5: the degenerate i0 = n case."""
+
+    def test_throughput_and_validity(self):
+        inst = Instance.open_only(5.0, (5.0, 3.0, 2.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        scheme.validate(inst)
+        assert scheme_throughput(scheme, inst, method="maxflow") == (
+            pytest.approx(5.0)
+        )
+        # the last node sends M_n = 2 back
+        assert scheme.out_rate(3) == pytest.approx(2.0)
+
+
+class TestEdgeCases:
+    def test_acyclically_feasible_falls_back_to_algorithm1(self):
+        inst = Instance.open_only(6.0, (5.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 4.0)
+        assert scheme.is_acyclic()
+        assert scheme_throughput(scheme, inst) >= 4.0 - 1e-9
+
+    def test_above_optimum_rejected(self):
+        inst = Instance.open_only(6.0, (5.0, 3.0))
+        with pytest.raises(InfeasibleThroughputError):
+            cyclic_open_scheme(inst, cyclic_open_optimum(inst) * 1.01)
+
+    def test_guarded_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_open_scheme(Instance(1.0, (), (1.0,)))
+
+    def test_zero_rate(self):
+        inst = Instance.open_only(6.0, (5.0,))
+        assert cyclic_open_scheme(inst, 0.0).num_edges == 0
+
+    def test_no_receivers(self):
+        assert cyclic_open_scheme(Instance(2.0)).num_edges == 0
+
+    def test_single_receiver(self):
+        inst = Instance.open_only(2.0, (100.0,))
+        scheme = cyclic_open_scheme(inst)
+        assert scheme_throughput(scheme, inst) == pytest.approx(2.0)
+
+    def test_two_nodes_with_backflow(self):
+        # T* = min(5, 7/2) = 3.5 > T*_ac = min(5, 6/2) = 3: needs the cycle.
+        inst = Instance.open_only(5.0, (1.0, 1.0))
+        assert acyclic_open_optimum(inst) == pytest.approx(3.0)
+        scheme = cyclic_open_scheme(inst)
+        assert scheme_throughput(scheme, inst, method="maxflow") == (
+            pytest.approx(3.5)
+        )
+        assert not scheme.is_acyclic()
+
+
+class TestRandomInstances:
+    @given(open_instances(max_open=10))
+    def test_optimum_reached_with_degree_bounds(self, inst):
+        t = cyclic_open_optimum(inst)
+        scheme = cyclic_open_scheme(inst)
+        scheme.validate(inst)
+        if t > 0:
+            assert scheme_throughput(
+                scheme, inst, method="maxflow"
+            ) >= t * (1 - 1e-6)
+            assert scheme.check_degree_bounds(inst, t, 2, floor=4) == []
+
+    @given(open_instances(max_open=8), st.floats(min_value=0.2, max_value=1.0))
+    def test_arbitrary_targets(self, inst, frac):
+        t = cyclic_open_optimum(inst) * frac
+        scheme = cyclic_open_scheme(inst, t)
+        scheme.validate(inst)
+        if t > 0:
+            assert scheme_throughput(
+                scheme, inst, method="maxflow"
+            ) >= t * (1 - 1e-6)
+
+    @given(open_instances(max_open=10))
+    def test_gain_over_acyclic_bounded_by_theorem61(self, inst):
+        """T*_ac / T* >= 1 - 1/n (Theorem 6.1)."""
+        t_ac = acyclic_open_optimum(inst)
+        t_cy = cyclic_open_optimum(inst)
+        if t_cy > 0:
+            assert t_ac / t_cy >= (1 - 1 / inst.n) - 1e-9

@@ -1,0 +1,161 @@
+"""Tests for the Dinic max-flow substrate, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows import FlowNetwork, maxflow, min_cut
+
+
+class TestBasics:
+    def test_single_edge(self):
+        assert maxflow(2, [(0, 1, 3.5)], 0, 1) == pytest.approx(3.5)
+
+    def test_no_path(self):
+        assert maxflow(3, [(0, 1, 1.0)], 0, 2) == 0.0
+
+    def test_series_takes_minimum(self):
+        assert maxflow(3, [(0, 1, 5.0), (1, 2, 2.0)], 0, 2) == pytest.approx(2.0)
+
+    def test_parallel_edges_accumulate(self):
+        assert maxflow(2, [(0, 1, 1.0), (0, 1, 2.0)], 0, 1) == pytest.approx(3.0)
+
+    def test_diamond(self):
+        edges = [(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0)]
+        assert maxflow(4, edges, 0, 3) == pytest.approx(4.0)
+
+    def test_requires_rerouting(self):
+        # Classic case where a greedy shortest path must be undone via the
+        # residual arc.
+        edges = [
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (1, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 3, 1.0),
+        ]
+        assert maxflow(4, edges, 0, 3) == pytest.approx(2.0)
+
+    def test_source_equals_sink_is_infinite(self):
+        net = FlowNetwork(2)
+        assert net.max_flow(0, 0) == float("inf")
+
+    def test_zero_capacity_edges_ignored(self):
+        assert maxflow(2, [(0, 1, 0.0)], 0, 1) == 0.0
+
+    def test_self_loops_ignored(self):
+        assert maxflow(2, [(0, 0, 5.0), (0, 1, 1.0)], 0, 1) == pytest.approx(1.0)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_out_of_range_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 2, 1.0)
+        with pytest.raises(IndexError):
+            net.max_flow(0, 5)
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+
+
+class TestReset:
+    def test_reset_allows_reuse(self):
+        net = FlowNetwork.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0), (0, 2, 1.0)])
+        first = net.max_flow(0, 2)
+        net.reset()
+        second = net.max_flow(0, 2)
+        assert first == pytest.approx(second)
+
+    def test_reset_then_different_sink(self):
+        net = FlowNetwork.from_edges(3, [(0, 1, 2.0), (1, 2, 1.0)])
+        assert net.max_flow(0, 2) == pytest.approx(1.0)
+        net.reset()
+        assert net.max_flow(0, 1) == pytest.approx(2.0)
+
+
+class TestMinCut:
+    def test_cut_value_matches_flow(self):
+        edges = [(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0)]
+        value, side = min_cut(4, edges, 0, 3)
+        assert value == pytest.approx(4.0)
+        assert side[0] and not side[3]
+        # The cut capacity across the partition equals the flow value.
+        cross = sum(c for (u, v, c) in edges if side[u] and not side[v])
+        assert cross == pytest.approx(value)
+
+    def test_disconnected_sink_cut_is_empty(self):
+        value, side = min_cut(3, [(0, 1, 1.0)], 0, 2)
+        assert value == 0.0
+        assert not side[2]
+
+
+class TestFlowExtraction:
+    def test_flow_on_edges_conserves(self):
+        edges = [(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0)]
+        net = FlowNetwork.from_edges(4, edges)
+        value = net.max_flow(0, 3)
+        flows = net.flow_on_edges()
+        for (u, v), f in flows.items():
+            assert f >= 0
+        # conservation at node 1 and 2
+        for mid in (1, 2):
+            inflow = sum(f for (u, v), f in flows.items() if v == mid)
+            outflow = sum(f for (u, v), f in flows.items() if u == mid)
+            assert inflow == pytest.approx(outflow)
+        out_of_source = sum(f for (u, v), f in flows.items() if u == 0)
+        assert out_of_source == pytest.approx(value)
+
+
+@st.composite
+def random_graphs(draw):
+    """Random digraphs with float capacities for the networkx cross-check."""
+    num = draw(st.integers(min_value=2, max_value=9))
+    num_edges = draw(st.integers(min_value=0, max_value=25))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=num - 1))
+        v = draw(st.integers(min_value=0, max_value=num - 1))
+        cap = draw(st.floats(min_value=0.0, max_value=50.0))
+        if u != v:
+            edges.append((u, v, cap))
+    return num, edges
+
+
+class TestAgainstNetworkx:
+    @given(random_graphs())
+    def test_matches_networkx_maxflow(self, graph):
+        num, edges = graph
+        ours = maxflow(num, edges, 0, num - 1)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(num))
+        for u, v, c in edges:
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        theirs = nx.maximum_flow_value(g, 0, num - 1)
+        assert math.isclose(ours, theirs, rel_tol=1e-9, abs_tol=1e-7)
+
+    @given(random_graphs())
+    def test_all_sinks_match_networkx(self, graph):
+        num, edges = graph
+        net = FlowNetwork.from_edges(num, edges)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(num))
+        for u, v, c in edges:
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        for sink in range(1, num):
+            ours = net.max_flow(0, sink)
+            net.reset()
+            theirs = nx.maximum_flow_value(g, 0, sink)
+            assert math.isclose(ours, theirs, rel_tol=1e-9, abs_tol=1e-7)

@@ -1,0 +1,196 @@
+"""Tests for the executable dominance lemmas (Lemma 4.2 / Lemma 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    BroadcastScheme,
+    Instance,
+    dag_throughput,
+    figure1_instance,
+    scheme_from_word,
+    word_to_order,
+)
+from repro.algorithms.dominance import (
+    is_conservative,
+    is_increasing_order,
+    make_conservative,
+    make_increasing,
+)
+
+from .conftest import instances
+
+
+def random_forward_scheme(inst, order, rng, fill=0.7):
+    """A random acyclic scheme compatible with ``order`` (test helper)."""
+    scheme = BroadcastScheme.for_instance(inst)
+    remaining = [inst.bandwidth(i) for i in range(inst.num_nodes)]
+    for k in range(1, len(order)):
+        v = order[k]
+        feeders = [
+            order[l] for l in range(k) if inst.can_send(order[l], v)
+        ]
+        rng.shuffle(feeders)
+        for f in feeders:
+            if remaining[f] <= 0:
+                continue
+            rate = float(rng.uniform(0, remaining[f])) * fill
+            if rate > 1e-9:
+                scheme.add_rate(f, v, rate)
+                remaining[f] -= rate
+    return scheme
+
+
+def random_order(inst, rng):
+    """A random (generally non-increasing) node order, source first."""
+    receivers = list(inst.receivers())
+    rng.shuffle(receivers)
+    return [0, *receivers]
+
+
+class TestIsIncreasingOrder:
+    def test_canonical_orders(self):
+        inst = figure1_instance()
+        assert is_increasing_order(inst, [0, 3, 1, 2, 4, 5])
+        assert is_increasing_order(inst, [0, 1, 2, 3, 4, 5])
+
+    def test_swapped_open_nodes(self):
+        inst = figure1_instance()
+        assert not is_increasing_order(inst, [0, 2, 1, 3, 4, 5])
+
+    def test_swapped_guarded_nodes(self):
+        inst = figure1_instance()
+        # paper's example: 041235 is not increasing
+        assert not is_increasing_order(inst, [0, 4, 1, 2, 3, 5])
+
+
+class TestMakeIncreasing:
+    def test_already_increasing_is_untouched(self):
+        inst = figure1_instance()
+        scheme = scheme_from_word(inst, "googg", 4.0)
+        rewritten, order = make_increasing(inst, scheme)
+        assert is_increasing_order(inst, order)
+        assert dag_throughput(rewritten) == pytest.approx(4.0)
+
+    def test_rewrite_preserves_throughput(self):
+        rng = np.random.default_rng(0)
+        inst = Instance(8.0, (6.0, 4.0, 2.0), (5.0, 1.0))
+        for trial in range(20):
+            order = random_order(inst, rng)
+            scheme = random_forward_scheme(inst, order, rng)
+            before = dag_throughput(scheme)
+            rewritten, new_order = make_increasing(inst, scheme)
+            rewritten.validate(inst, require_acyclic=True)
+            assert is_increasing_order(inst, new_order)
+            assert dag_throughput(rewritten) == pytest.approx(
+                before, rel=1e-9, abs=1e-9
+            )
+
+    def test_edges_follow_returned_order(self):
+        rng = np.random.default_rng(1)
+        inst = Instance(8.0, (6.0, 4.0, 2.0), (5.0, 1.0))
+        order = random_order(inst, rng)
+        scheme = random_forward_scheme(inst, order, rng)
+        rewritten, new_order = make_increasing(inst, scheme)
+        pos = {node: k for k, node in enumerate(new_order)}
+        for i, j, _ in rewritten.edges():
+            assert pos[i] < pos[j]
+
+    @given(instances(max_open=5, max_guarded=5, min_receivers=1),
+           st.integers(min_value=0, max_value=10_000))
+    def test_property_random_instances(self, inst, seed):
+        rng = np.random.default_rng(seed)
+        order = random_order(inst, rng)
+        scheme = random_forward_scheme(inst, order, rng)
+        before = dag_throughput(scheme)
+        rewritten, new_order = make_increasing(inst, scheme)
+        rewritten.validate(inst, require_acyclic=True)
+        assert is_increasing_order(inst, new_order)
+        assert dag_throughput(rewritten) == pytest.approx(
+            before, rel=1e-6, abs=1e-9
+        )
+
+    def test_cyclic_scheme_rejected(self):
+        inst = Instance.open_only(5.0, (5.0, 5.0))
+        scheme = BroadcastScheme.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0)]
+        )
+        from repro import InvalidSchemeError
+
+        with pytest.raises(InvalidSchemeError):
+            make_increasing(inst, scheme)
+
+
+class TestIsConservative:
+    def test_packing_schemes_are_conservative(self):
+        inst = figure1_instance()
+        for word in ("googg", "gogog"):
+            scheme = scheme_from_word(inst, word, 4.0)
+            order = word_to_order(inst, word)
+            assert is_conservative(inst, scheme, order)
+
+    def test_figure4_scheme_is_not(self):
+        inst = figure1_instance()
+        scheme = BroadcastScheme.from_edges(
+            6,
+            [
+                (0, 3, 4.0),
+                (0, 1, 2.0),  # open->open while C3 has spare upload
+                (3, 1, 2.0),
+                (3, 2, 2.0),
+                (1, 2, 2.0),
+                (1, 4, 3.0),
+                (2, 4, 1.0),
+                (2, 5, 4.0),
+            ],
+        )
+        order = word_to_order(inst, "googg")
+        assert not is_conservative(inst, scheme, order)
+
+
+class TestMakeConservative:
+    def test_fixes_the_figure4_scheme(self):
+        inst = figure1_instance()
+        scheme = BroadcastScheme.from_edges(
+            6,
+            [
+                (0, 3, 4.0),
+                (0, 1, 2.0),
+                (3, 1, 2.0),
+                (3, 2, 2.0),
+                (1, 2, 2.0),
+                (1, 4, 3.0),
+                (2, 4, 1.0),
+                (2, 5, 4.0),
+            ],
+        )
+        order = word_to_order(inst, "googg")
+        before = scheme.in_rates()
+        fixed = make_conservative(inst, scheme, order)
+        fixed.validate(inst, require_acyclic=True)
+        assert is_conservative(inst, fixed, order)
+        assert fixed.in_rates() == pytest.approx(before)
+
+    @given(instances(max_open=5, max_guarded=5, min_receivers=1),
+           st.integers(min_value=0, max_value=10_000))
+    def test_property_preserves_in_rates(self, inst, seed):
+        from repro import all_words
+
+        rng = np.random.default_rng(seed)
+        words = list(all_words(inst.n, inst.m))
+        word = words[seed % len(words)]
+        order = word_to_order(inst, word)
+        scheme = random_forward_scheme(inst, order, rng)
+        before = scheme.in_rates()
+        fixed = make_conservative(inst, scheme, order)
+        fixed.validate(inst)
+        assert is_conservative(inst, fixed, order)
+        assert fixed.in_rates() == pytest.approx(before, rel=1e-6, abs=1e-7)
+
+    def test_already_conservative_untouched(self):
+        inst = figure1_instance()
+        scheme = scheme_from_word(inst, "googg", 4.0)
+        order = word_to_order(inst, "googg")
+        fixed = make_conservative(inst, scheme, order)
+        assert sorted(fixed.edges()) == pytest.approx(sorted(scheme.edges()))

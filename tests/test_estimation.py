@@ -1,0 +1,109 @@
+"""Tests for the Bedibe-style LastMile estimation substrate."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EstimationError,
+    LastMileGroundTruth,
+    Measurement,
+    estimate_lastmile,
+    sample_measurements,
+)
+
+
+@pytest.fixture
+def truth():
+    rng = np.random.default_rng(0)
+    b_out = rng.uniform(5, 100, 30)
+    return LastMileGroundTruth.symmetric(b_out, headroom=4.0)
+
+
+class TestGroundTruth:
+    def test_pair_bandwidth_is_min(self):
+        t = LastMileGroundTruth((10.0, 50.0), (20.0, 30.0))
+        assert t.pair_bandwidth(0, 1) == 10.0  # sender-limited
+        assert t.pair_bandwidth(1, 0) == 20.0  # receiver-limited
+
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            LastMileGroundTruth((1.0,), (1.0, 2.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LastMileGroundTruth((-1.0,), (1.0,))
+
+    def test_symmetric_headroom(self):
+        t = LastMileGroundTruth.symmetric((10.0, 20.0), headroom=3.0)
+        assert t.b_in == (30.0, 60.0)
+
+
+class TestMeasurements:
+    def test_counts_and_ranges(self, truth):
+        rng = np.random.default_rng(1)
+        ms = sample_measurements(rng, truth, pairs_per_node=5)
+        assert len(ms) == truth.num_nodes * 5
+        for m in ms:
+            assert m.source != m.target
+            assert m.value > 0
+
+    def test_noiseless_measurements_exact(self, truth):
+        rng = np.random.default_rng(1)
+        ms = sample_measurements(rng, truth, pairs_per_node=5, noise_sigma=0.0)
+        for m in ms:
+            assert m.value == pytest.approx(
+                truth.pair_bandwidth(m.source, m.target)
+            )
+
+    def test_needs_two_nodes(self):
+        t = LastMileGroundTruth((1.0,), (1.0,))
+        with pytest.raises(ValueError):
+            sample_measurements(np.random.default_rng(0), t)
+
+
+class TestEstimation:
+    def test_noiseless_recovery_in_sender_limited_regime(self, truth):
+        """With b_in >> b_out every pair is sender-limited, so b_out is
+        exactly identifiable."""
+        rng = np.random.default_rng(2)
+        ms = sample_measurements(rng, truth, pairs_per_node=8, noise_sigma=0.0)
+        est = estimate_lastmile(ms, truth.num_nodes)
+        errors = est.relative_out_errors(truth.b_out)
+        assert float(np.max(errors)) < 1e-9
+
+    def test_noisy_recovery_reasonable(self, truth):
+        rng = np.random.default_rng(2)
+        ms = sample_measurements(rng, truth, pairs_per_node=10, noise_sigma=0.1)
+        est = estimate_lastmile(ms, truth.num_nodes)
+        errors = est.relative_out_errors(truth.b_out)
+        assert float(np.median(errors)) < 0.15
+        assert est.residual_rms_log < 0.3
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_lastmile([], 3)
+
+    def test_unmeasured_node_rejected(self):
+        ms = [Measurement(0, 1, 5.0)]
+        with pytest.raises(EstimationError, match="no outgoing"):
+            estimate_lastmile(ms, 3)
+
+    def test_out_of_range_measurement_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_lastmile([Measurement(0, 5, 1.0)], 3)
+
+    def test_negative_measurement_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_lastmile(
+                [Measurement(0, 1, -2.0), Measurement(1, 0, 1.0)], 2
+            )
+
+    def test_estimates_usable_for_instances(self, truth):
+        """End of the pipeline: estimated b_out values feed Instance."""
+        from repro import Instance
+
+        rng = np.random.default_rng(4)
+        ms = sample_measurements(rng, truth, pairs_per_node=8, noise_sigma=0.05)
+        est = estimate_lastmile(ms, truth.num_nodes)
+        inst = Instance(est.b_out[0], est.b_out[1:], ())
+        assert inst.num_receivers == truth.num_nodes - 1

@@ -1,0 +1,107 @@
+"""Tests for the LP reference solvers (repro.algorithms.exact)."""
+
+import pytest
+from hypothesis import given
+
+from repro import (
+    Instance,
+    acyclic_open_optimum,
+    cyclic_optimum,
+    exhaustive_acyclic_throughput,
+    optimal_acyclic_throughput,
+    optimal_cyclic_lp,
+    order_lp_throughput,
+    word_throughput,
+)
+
+from .conftest import instances
+
+
+@pytest.fixture
+def fig1():
+    return Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+
+
+class TestOrderLP:
+    def test_fig1_words(self, fig1):
+        assert order_lp_throughput(fig1, "googg") == pytest.approx(4.0)
+        assert order_lp_throughput(fig1, "gogog") == pytest.approx(4.0)
+
+    def test_accepts_explicit_order(self, fig1):
+        assert order_lp_throughput(fig1, [0, 3, 1, 2, 4, 5]) == (
+            pytest.approx(4.0)
+        )
+
+    def test_order_must_start_at_source(self, fig1):
+        with pytest.raises(ValueError):
+            order_lp_throughput(fig1, [1, 0, 2, 3, 4, 5])
+
+    def test_order_must_cover_all(self, fig1):
+        with pytest.raises(ValueError):
+            order_lp_throughput(fig1, [0, 1, 2])
+
+    def test_open_only_identity_order(self):
+        inst = Instance.open_only(10.0, (6.0, 5.0, 3.0))
+        assert order_lp_throughput(inst, "ooo") == pytest.approx(
+            acyclic_open_optimum(inst)
+        )
+
+    @given(instances(max_open=4, max_guarded=4, min_receivers=1))
+    def test_lp_matches_bisection_per_word(self, inst):
+        """Lemma 4.3/4.4: conservative-recursion bisection == LP, word by
+        word — two completely independent computations."""
+        from repro import all_words
+
+        for word in all_words(inst.n, inst.m):
+            t_lp = order_lp_throughput(inst, word)
+            t_rec = word_throughput(inst, word)
+            assert t_rec == pytest.approx(t_lp, rel=1e-6, abs=1e-8)
+
+
+class TestExhaustive:
+    def test_fig1(self, fig1):
+        t, word = exhaustive_acyclic_throughput(fig1)
+        assert t == pytest.approx(4.0)
+        assert len(word) == 5
+
+    def test_size_cap(self):
+        inst = Instance(1.0, tuple([1.0] * 10), tuple([1.0] * 10))
+        with pytest.raises(ValueError):
+            exhaustive_acyclic_throughput(inst, max_receivers=6)
+
+    def test_no_receivers(self):
+        t, word = exhaustive_acyclic_throughput(Instance(1.0))
+        assert t == float("inf") and word == ""
+
+    @given(instances(max_open=4, max_guarded=3, min_receivers=1))
+    def test_dichotomic_greedy_is_exhaustive_optimum(self, inst):
+        """End-to-end certification of Theorem 4.1's optimality claim."""
+        t_greedy, _ = optimal_acyclic_throughput(inst)
+        t_exact, _ = exhaustive_acyclic_throughput(inst)
+        assert t_greedy == pytest.approx(t_exact, rel=1e-6, abs=1e-8)
+
+
+class TestCyclicLP:
+    def test_fig1_certifies_lemma51(self, fig1):
+        assert optimal_cyclic_lp(fig1) == pytest.approx(4.4)
+
+    def test_size_cap(self):
+        inst = Instance(1.0, tuple([1.0] * 20), ())
+        with pytest.raises(ValueError):
+            optimal_cyclic_lp(inst, max_receivers=10)
+
+    def test_no_receivers(self):
+        assert optimal_cyclic_lp(Instance(1.0)) == float("inf")
+
+    def test_open_only(self):
+        inst = Instance.open_only(5.0, (1.0, 1.0))
+        assert optimal_cyclic_lp(inst) == pytest.approx(3.5)
+
+    @given(instances(max_open=3, max_guarded=3, min_receivers=1))
+    def test_closed_form_is_tight(self, inst):
+        """Lemma 5.1's bound is achieved: LP == closed form on random
+        small instances (the paper's 'closed form formula for the optimal
+        cyclic throughput')."""
+        t_lp = optimal_cyclic_lp(inst)
+        t_cf = cyclic_optimum(inst)
+        assert t_lp == pytest.approx(t_cf, rel=1e-6, abs=1e-8)

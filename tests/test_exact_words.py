@@ -1,0 +1,143 @@
+"""Tests for the exact rational word-throughput machinery.
+
+These assert the paper's rational constants *exactly* (as Fractions), not
+to floating-point tolerance — the strongest form of value reproduction.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    all_words,
+    exact_acyclic_optimum,
+    exact_cyclic_optimum,
+    exact_word_throughput,
+    exact_word_throughput_for,
+    figure1_instance,
+    random_instance,
+    word_throughput,
+)
+
+from .conftest import instances
+
+
+class TestFigure1Exact:
+    def test_both_paper_words_give_exactly_4(self):
+        inst = figure1_instance()
+        assert exact_word_throughput_for(inst, "gogog") == 4
+        assert exact_word_throughput_for(inst, "googg") == 4
+
+    def test_exact_optimum_is_4(self):
+        t, _ = exact_acyclic_optimum(6, (5, 5), (4, 1, 1))
+        assert t == Fraction(4)
+
+    def test_exact_cyclic_optimum_is_22_over_5(self):
+        assert exact_cyclic_optimum(6, (5, 5), (4, 1, 1)) == Fraction(22, 5)
+
+    def test_infeasible_words_get_smaller_values(self):
+        # guarded-first-everything caps at b0/2 for the first two guarded
+        t = exact_word_throughput(6, (5, 5), (4, 1, 1), "ggogo")
+        assert t < 4
+
+
+class TestFigure18Exact:
+    """Theorem 6.2's witness: the ratio is EXACTLY 5/7."""
+
+    def setup_method(self):
+        eps = Fraction(1, 14)
+        self.b1 = 1 + 2 * eps
+        self.g = Fraction(1, 2) - eps
+
+    def test_sigma1_exact(self):
+        assert exact_word_throughput(
+            1, (self.b1,), (self.g, self.g), "ogg"
+        ) == Fraction(5, 7)
+
+    def test_sigma2_exact(self):
+        assert exact_word_throughput(
+            1, (self.b1,), (self.g, self.g), "gog"
+        ) == Fraction(5, 7)
+
+    def test_optimum_exactly_five_sevenths(self):
+        t, _ = exact_acyclic_optimum(1, (self.b1,), (self.g, self.g))
+        assert t == Fraction(5, 7)
+
+    def test_cyclic_optimum_exactly_one(self):
+        assert exact_cyclic_optimum(
+            1, (self.b1,), (self.g, self.g)
+        ) == Fraction(1)
+
+
+class TestSmallClosedForms:
+    def test_open_only_matches_formula(self):
+        # T*_ac = min(b0, S_{n-1}/n) exactly
+        t = exact_word_throughput(7, (3, 2, 1), (), "ooo")
+        assert t == Fraction(12, 3)  # (7+3+2)/3 = 4
+
+    def test_guarded_only(self):
+        t = exact_word_throughput(5, (), (9, 9), "gg")
+        assert t == Fraction(5, 2)
+
+    def test_word_count_checked(self):
+        with pytest.raises(ValueError):
+            exact_word_throughput(1, (1,), (1,), "oo")
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            exact_word_throughput(1, (), (), "")
+
+    def test_zero_source(self):
+        assert exact_word_throughput(0, (5,), (), "o") == 0
+
+    def test_exact_search_size_cap(self):
+        with pytest.raises(ValueError):
+            exact_acyclic_optimum(1, tuple([1] * 10), tuple([1] * 10))
+
+
+class TestAgainstFloatBisection:
+    @given(instances(max_open=5, max_guarded=5, min_receivers=1),
+           st.integers(min_value=0, max_value=10_000))
+    def test_matches_bisection(self, inst, pick):
+        words = list(all_words(inst.n, inst.m))
+        word = words[pick % len(words)]
+        exact = float(exact_word_throughput_for(inst, word))
+        approx = word_throughput(inst, word)
+        assert approx == pytest.approx(exact, rel=1e-9, abs=1e-9)
+
+    def test_matches_dichotomic_optimum(self):
+        from repro import optimal_acyclic_throughput
+
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            inst = random_instance(
+                rng, int(rng.integers(1, 7)), float(rng.random()), "Unif100"
+            )
+            t_float, _ = optimal_acyclic_throughput(inst)
+            t_exact, _ = exact_acyclic_optimum(
+                inst.source_bw, inst.open_bws, inst.guarded_bws
+            )
+            assert t_float == pytest.approx(float(t_exact), rel=1e-9)
+
+    @given(instances(max_open=4, max_guarded=4, min_receivers=1))
+    def test_never_exceeds_exact_cyclic_optimum(self, inst):
+        upper = exact_cyclic_optimum(
+            inst.source_bw, inst.open_bws, inst.guarded_bws
+        )
+        for word in all_words(inst.n, inst.m):
+            assert exact_word_throughput_for(inst, word) <= upper
+
+
+class TestRationalInputs:
+    def test_fraction_bandwidths_stay_exact(self):
+        t = exact_word_throughput(
+            Fraction(1, 3), (Fraction(1, 7),), (Fraction(1, 5),), "og"
+        )
+        assert isinstance(t, Fraction)
+        # all pools are rational, so the result has a modest denominator
+        assert t.denominator < 10**6
+
+    def test_integer_inputs(self):
+        assert exact_word_throughput(4, (2,), (), "o") == 4

@@ -1,0 +1,252 @@
+"""Tests for the experiment modules: each table/figure reproduction must
+recover the paper's headline observations at reduced scale."""
+
+import pytest
+
+from repro import FIVE_SEVENTHS, THEOREM63_LIMIT
+from repro.experiments import (
+    Figure7Config,
+    Figure19Config,
+    baseline_comparison,
+    cell_worst_ratio,
+    cyclic_gain,
+    figure1_report,
+    figure6_report,
+    figure18_report,
+    greedy_vs_exhaustive,
+    omega_quality,
+    packing_degree_ablation,
+    run_figure7,
+    run_figure19,
+    run_table1,
+    summarize,
+    table1_matches_paper,
+    theorem61_report,
+    theorem63_report,
+)
+from repro.experiments.report import (
+    render_figure1,
+    render_figure6,
+    render_figure7,
+    render_figure18,
+    render_figure19,
+    render_table1,
+    render_theorem61,
+    render_theorem63,
+)
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        assert table1_matches_paper()
+
+    def test_result_fields(self):
+        res = run_table1()
+        assert res.word == "gogog"
+        assert res.feasible
+        assert res.prefixes[0] == ""
+        assert res.open_avail == (6.0, 2.0, 7.0, 3.0, 5.0, 1.0)
+
+    def test_render_mentions_match(self):
+        assert "matches the paper exactly" in render_table1()
+
+
+class TestWorstCaseReports:
+    def test_figure1(self):
+        rep = figure1_report()
+        assert rep.t_star_closed_form == pytest.approx(4.4)
+        assert rep.t_star_lp == pytest.approx(4.4)
+        assert rep.t_ac_search == pytest.approx(4.0, rel=1e-9)
+        assert rep.t_ac_scheme == pytest.approx(4.0, rel=1e-6)
+        assert rep.greedy_word == "gogog"
+        assert "4.4" in render_figure1(rep)
+
+    def test_figure6(self):
+        rows = figure6_report((2, 4, 8))
+        for r in rows:
+            assert r.t_star == pytest.approx(1.0)
+            assert r.scheme_throughput == pytest.approx(1.0)
+            assert r.source_degree == r.m
+            assert r.source_degree_lower_bound == 1
+            assert r.acyclic_throughput < 1.0
+        render_figure6(rows)
+
+    def test_figure18_at_witness(self):
+        rep = figure18_report()
+        assert rep.t_star == pytest.approx(1.0)
+        assert rep.t_sigma1 == pytest.approx(rep.t_sigma1_expected, rel=1e-6)
+        assert rep.t_sigma2 == pytest.approx(rep.t_sigma2_expected, rel=1e-6)
+        assert rep.ratio == pytest.approx(FIVE_SEVENTHS, rel=1e-6)
+        assert rep.t_sigma3 < rep.t_ac  # dominated order
+        render_figure18(rep)
+
+    def test_figure18_off_witness(self):
+        rep = figure18_report(eps=0.02)
+        assert rep.ratio > FIVE_SEVENTHS
+
+    def test_theorem63(self):
+        rows = theorem63_report(ks=(1, 2))
+        for r in rows:
+            assert r.t_star == pytest.approx(1.0)
+            assert r.measured_t_ac <= r.upper_bound + 1e-9
+            assert abs(r.measured_t_ac - THEOREM63_LIMIT) < 0.01
+        render_theorem63(rows)
+
+    def test_theorem61(self):
+        rows = theorem61_report(ns=(2, 5, 10), trials=40, seed=1)
+        for r in rows:
+            assert r.worst_ratio >= r.bound - 1e-9
+            assert r.mean_ratio >= r.worst_ratio
+        render_theorem61(rows)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        return run_figure7(
+            Figure7Config(max_n=10, max_m=10, stride=1, delta_samples=7)
+        )
+
+    def test_floor_respected(self, small_grid):
+        assert small_grid.respects_five_sevenths()
+
+    def test_floor_attained_at_1_2(self, small_grid):
+        assert small_grid.global_argmin == (1, 2)
+        assert small_grid.global_min == pytest.approx(
+            FIVE_SEVENTHS, abs=2e-3
+        )
+
+    def test_mostly_above_08(self, small_grid):
+        assert small_grid.fraction_above(0.8) > 0.8
+
+    def test_cell_worst_ratio_open_only(self):
+        # m = 0 cells: closed-form ratio min(1, S_{n-1}/n)
+        assert cell_worst_ratio(1, 0) == pytest.approx(1.0)
+
+    def test_summary_and_render(self, small_grid):
+        s = small_grid.summary()
+        assert s["floor_respected"]
+        assert "5/7" in render_figure7(small_grid)
+
+
+class TestFigure19:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        cfg = Figure19Config(
+            distributions=("Unif100", "Power2", "PLab"),
+            open_probs=(0.1, 0.9),
+            sizes=(10, 30),
+            repetitions=25,
+        )
+        return run_figure19(cfg)
+
+    def test_all_cells_present(self, sweep):
+        assert len(sweep.cells) == 3 * 2 * 2
+
+    def test_ratios_bounded(self, sweep):
+        for c in sweep.cells:
+            assert 0.0 < c.optimal.mean <= 1.0 + 1e-9
+            assert c.best_omega.mean <= c.optimal.mean + 1e-9
+            assert c.proof.mean <= c.best_omega.mean + 1e-9
+
+    def test_paper_conclusion_mean_above_090(self, sweep):
+        """Paper: 'at most 5% decrease' on average (reduced-scale slack)."""
+        assert sweep.worst_mean_optimal_ratio() > 0.90
+
+    def test_omega_words_near_optimal(self, sweep):
+        assert sweep.worst_mean_omega_gap() < 0.05
+
+    def test_proof_word_gap_shrinks_with_size(self, sweep):
+        gaps = sweep.proof_word_gap_by_size()
+        assert gaps[30] <= gaps[10] + 0.01
+
+    def test_larger_instances_closer_to_one(self, sweep):
+        for dist in ("Unif100", "Power2"):
+            for p in (0.1, 0.9):
+                small = sweep.cell(dist, p, 10).optimal.mean
+                large = sweep.cell(dist, p, 30).optimal.mean
+                assert large >= small - 0.02
+
+    def test_cell_lookup_raises_on_missing(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cell("LN1", 0.5, 999)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure19(Figure19Config(distributions=("Nope",)))
+
+    def test_render(self, sweep):
+        out = render_figure19(sweep)
+        assert "Unif100" in out and "mean opt" in out
+
+    def test_csv_export(self, sweep):
+        csv = sweep.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("distribution,p,n,")
+        assert len(lines) == 1 + len(sweep.cells)
+        assert any(line.startswith("PLab,") for line in lines[1:])
+
+    def test_determinism(self):
+        cfg = Figure19Config(
+            distributions=("Unif100",),
+            open_probs=(0.5,),
+            sizes=(10,),
+            repetitions=10,
+        )
+        a = run_figure19(cfg)
+        b = run_figure19(cfg)
+        assert a.cells[0].optimal == b.cells[0].optimal
+
+
+class TestAblations:
+    def test_greedy_vs_exhaustive_tiny_error(self):
+        assert greedy_vs_exhaustive(trials=15, max_receivers=6) < 1e-9
+
+    def test_packing_beats_lp_on_degrees(self):
+        rep = packing_degree_ablation(size=25, seed=11)
+        assert rep.throughput_fifo == pytest.approx(
+            rep.throughput_lp, rel=1e-6
+        )
+        assert rep.max_excess_degree_fifo <= 3
+        assert rep.max_excess_degree_lp >= rep.max_excess_degree_fifo
+
+    def test_omega_quality_close_to_one(self):
+        rows = omega_quality(sizes=(10, 30), reps=10)
+        for _, _, ratio in rows:
+            assert ratio > 0.9
+
+    def test_baseline_comparison_ordering(self):
+        rows = baseline_comparison(size=20, seed=5)
+        by_name = {r.name: r for r in rows}
+        paper = by_name["paper acyclic (Thm 4.1)"]
+        star = by_name["source star"]
+        tree = by_name["random tree"]
+        assert paper.throughput >= star.throughput - 1e-9
+        assert paper.throughput >= tree.throughput - 1e-9
+        assert paper.fraction_of_optimal > 0.9
+
+    def test_cyclic_gain_shrinks_with_n(self):
+        rows = cyclic_gain(ns=(2, 10), reps=10)
+        gain = {r.n: r.gain for r in rows}
+        assert gain[2] >= gain[10] - 0.05
+        for r in rows:
+            assert r.gain >= 1.0 - 1e-9
+            assert r.gain <= 1.0 / (1.0 - 1.0 / r.n) + 1e-6
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_summarize_single(self):
+        s = summarize([2.0])
+        assert s.q05 == s.q95 == 2.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

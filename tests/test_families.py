@@ -1,0 +1,184 @@
+"""Tests for the named instance families (Figures 1/6/18, Theorem 6.3,
+tight homogeneous instances)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    FIVE_SEVENTHS,
+    THEOREM63_LIMIT,
+    cyclic_optimum,
+    figure1_instance,
+    figure2_word,
+    figure5_word,
+    figure6_instance,
+    figure6_optimal_scheme,
+    five_sevenths_instance,
+    maxflow_throughput,
+    optimal_acyclic_throughput,
+    scheme_throughput,
+    theorem63_acyclic_upper_bound,
+    theorem63_alpha_fraction,
+    theorem63_instance,
+    tight_homogeneous_instance,
+)
+from repro.core.numerics import safe_ceil_div
+
+
+class TestFigure1:
+    def test_instance_shape(self):
+        inst = figure1_instance()
+        assert inst.source_bw == 6.0
+        assert inst.open_bws == (5.0, 5.0)
+        assert inst.guarded_bws == (4.0, 1.0, 1.0)
+
+    def test_known_optima(self):
+        inst = figure1_instance()
+        assert cyclic_optimum(inst) == pytest.approx(4.4)
+        t_ac, word = optimal_acyclic_throughput(inst)
+        assert t_ac == pytest.approx(4.0, rel=1e-9)
+        assert word == figure5_word()
+
+    def test_words_are_well_formed(self):
+        inst = figure1_instance()
+        for w in (figure2_word(), figure5_word()):
+            assert w.count("o") == inst.n
+            assert w.count("g") == inst.m
+
+
+class TestFigure6:
+    @pytest.mark.parametrize("m", [2, 3, 5, 10])
+    def test_t_star_is_one(self, m):
+        assert cyclic_optimum(figure6_instance(m)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("m", [2, 3, 5, 10])
+    def test_explicit_scheme_achieves_t_star(self, m):
+        inst = figure6_instance(m)
+        scheme = figure6_optimal_scheme(m)
+        scheme.validate(inst)
+        assert maxflow_throughput(scheme) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("m", [2, 5, 16])
+    def test_source_degree_grows_unboundedly(self, m):
+        scheme = figure6_optimal_scheme(m)
+        assert scheme.outdegree(0) == m
+        # ... while the naive lower bound stays 1:
+        assert safe_ceil_div(1.0, 1.0) == 1
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_acyclic_cannot_reach_t_star(self, m):
+        inst = figure6_instance(m)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        assert t_ac < 1.0 - 1e-6
+
+    def test_needs_at_least_two_guarded(self):
+        with pytest.raises(ValueError):
+            figure6_instance(1)
+
+
+class TestFigure18:
+    def test_shape(self):
+        inst = five_sevenths_instance()
+        assert inst.n == 1 and inst.m == 2
+        assert cyclic_optimum(inst) == pytest.approx(1.0)
+
+    def test_exact_five_sevenths_at_witness_eps(self):
+        inst = five_sevenths_instance()
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        assert t_ac == pytest.approx(FIVE_SEVENTHS, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=0.4))
+    def test_ratio_at_least_five_sevenths_for_all_eps(self, eps):
+        inst = five_sevenths_instance(eps)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        assert t_ac >= FIVE_SEVENTHS * cyclic_optimum(inst) - 1e-9
+
+    def test_eps_out_of_range(self):
+        with pytest.raises(ValueError):
+            five_sevenths_instance(0.6)
+
+
+class TestTheorem63:
+    def test_alpha_fraction_close_to_witness(self):
+        frac = theorem63_alpha_fraction()
+        from repro import THEOREM63_ALPHA
+
+        assert abs(float(frac) - THEOREM63_ALPHA) < 1e-2
+
+    def test_t_star_is_one(self):
+        inst = theorem63_instance(Fraction(2, 5), 2)
+        assert cyclic_optimum(inst) == pytest.approx(1.0)
+
+    def test_instance_shape(self):
+        inst = theorem63_instance(Fraction(2, 5), 3)
+        assert inst.n == 15  # k * q
+        assert inst.m == 6  # k * p
+        assert inst.open_bws[0] == pytest.approx(0.4)
+        assert inst.guarded_bws[0] == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_measured_ratio_below_upper_bound(self, k):
+        alpha = theorem63_alpha_fraction()
+        inst = theorem63_instance(alpha, k)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        bound = theorem63_acyclic_upper_bound(float(alpha))
+        assert t_ac <= bound + 1e-9
+        # ... but still above the universal 5/7 floor:
+        assert t_ac >= FIVE_SEVENTHS - 1e-9
+
+    def test_ratio_near_limit_at_witness(self):
+        alpha = theorem63_alpha_fraction(64)
+        inst = theorem63_instance(alpha, 4)
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        assert abs(t_ac - THEOREM63_LIMIT) < 5e-3
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            theorem63_instance(Fraction(3, 2), 1)
+        with pytest.raises(ValueError):
+            theorem63_instance(Fraction(1, 2), 0)
+
+
+class TestTightHomogeneous:
+    def test_tightness_identity(self):
+        inst = tight_homogeneous_instance(5, 3, 2.0)
+        # b0 + O + G = n + m and T* = 1
+        assert inst.total_bw == pytest.approx(8.0)
+        assert cyclic_optimum(inst) == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_always_tight_and_t_star_one(self, n, m, frac):
+        lo = max(0.0, 1.0 - m)
+        delta = lo + frac * (n - lo)
+        inst = tight_homogeneous_instance(n, m, delta)
+        assert math.isclose(inst.total_bw, n + m, rel_tol=1e-9)
+        assert math.isclose(cyclic_optimum(inst), 1.0, rel_tol=1e-9)
+
+    def test_m_zero_forces_delta_n(self):
+        inst = tight_homogeneous_instance(4, 0, 4.0)
+        assert inst.m == 0
+        assert cyclic_optimum(inst) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            tight_homogeneous_instance(4, 0, 2.0)
+
+    def test_delta_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            tight_homogeneous_instance(3, 2, 5.0)
+        with pytest.raises(ValueError):
+            tight_homogeneous_instance(3, 2, -1.0)
+        with pytest.raises(ValueError):
+            tight_homogeneous_instance(0, 2, 0.0)
+
+    def test_figure18_is_the_worst_cell_1_2(self):
+        """delta = 1/7 in cell (1, 2) recovers the Figure 18 instance."""
+        inst = tight_homogeneous_instance(1, 2, 1.0 / 7.0)
+        ref = five_sevenths_instance()
+        assert inst.open_bws[0] == pytest.approx(ref.open_bws[0])
+        assert inst.guarded_bws[0] == pytest.approx(ref.guarded_bws[0])

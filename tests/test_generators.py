@@ -1,0 +1,146 @@
+"""Tests for the random instance generators (Appendix XII protocol)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    DISTRIBUTIONS,
+    Instance,
+    cyclic_optimum,
+    random_instance,
+    saturating_source_bw,
+)
+from repro.instances.generators import (
+    lognormal_bandwidths,
+    lognormal_params,
+    pareto_bandwidths,
+    pareto_params,
+    uniform_bandwidths,
+)
+
+
+class TestDistributionRegistry:
+    def test_paper_names_present(self):
+        assert set(DISTRIBUTIONS) == {
+            "Unif100",
+            "Power1",
+            "Power2",
+            "LN1",
+            "LN2",
+            "PLab",
+        }
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_samples_are_positive_and_shaped(self, name):
+        rng = np.random.default_rng(0)
+        vals = DISTRIBUTIONS[name](rng, 500)
+        assert vals.shape == (500,)
+        assert np.all(vals > 0)
+
+
+class TestMomentMatching:
+    def test_pareto_params_mean_std_100(self):
+        shape, scale = pareto_params(100.0, 100.0)
+        assert shape == pytest.approx(1 + math.sqrt(2))
+        # analytic mean check
+        assert shape * scale / (shape - 1) == pytest.approx(100.0)
+
+    def test_pareto_empirical_mean(self):
+        rng = np.random.default_rng(7)
+        vals = pareto_bandwidths(rng, 200_000, 100.0, 100.0)
+        assert np.mean(vals) == pytest.approx(100.0, rel=0.05)
+        assert np.std(vals) == pytest.approx(100.0, rel=0.2)
+
+    def test_lognormal_empirical_moments(self):
+        rng = np.random.default_rng(7)
+        vals = lognormal_bandwidths(rng, 200_000, 100.0, 100.0)
+        assert np.mean(vals) == pytest.approx(100.0, rel=0.05)
+        assert np.std(vals) == pytest.approx(100.0, rel=0.1)
+
+    def test_lognormal_params_reject_bad(self):
+        with pytest.raises(ValueError):
+            lognormal_params(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            pareto_params(1.0, 0.0)
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(7)
+        vals = uniform_bandwidths(rng, 10_000)
+        assert vals.min() >= 1.0
+        assert vals.max() <= 100.0
+
+
+class TestSaturatingSource:
+    def test_fixed_point_property(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            size = int(rng.integers(2, 30))
+            open_mask = rng.random(size) < 0.6
+            bws = rng.uniform(1, 100, size)
+            opens = tuple(bws[open_mask])
+            guardeds = tuple(bws[~open_mask])
+            b0 = saturating_source_bw(opens, guardeds)
+            inst = Instance(b0, opens, guardeds)
+            assert cyclic_optimum(inst) == pytest.approx(b0, rel=1e-9)
+
+    def test_m_le_1_uses_total_bandwidth_term(self):
+        b0 = saturating_source_bw((4.0, 4.0), (2.0,))
+        # (O + G) / (n + m - 1) = 10 / 2 = 5
+        assert b0 == pytest.approx(5.0)
+
+    def test_guarded_term_binds_when_m_large(self):
+        b0 = saturating_source_bw((6.0,), (1.0, 1.0, 1.0))
+        # min(O/(m-1) = 3, (O+G)/(n+m-1) = 3) = 3
+        assert b0 == pytest.approx(3.0)
+
+    def test_degenerate_single_node(self):
+        assert saturating_source_bw((8.0,), ()) == pytest.approx(8.0)
+        assert saturating_source_bw((), ()) == 1.0
+
+
+class TestRandomInstance:
+    def test_size_and_classes(self):
+        rng = np.random.default_rng(1)
+        inst = random_instance(rng, 50, 0.5, "Unif100")
+        assert inst.num_receivers == 50
+
+    def test_open_prob_extremes(self):
+        rng = np.random.default_rng(1)
+        all_open = random_instance(rng, 30, 1.0, "Unif100")
+        assert all_open.m == 0
+        all_guarded = random_instance(rng, 30, 0.0, "Unif100")
+        assert all_guarded.n == 0
+
+    def test_source_defaults_to_saturating(self):
+        rng = np.random.default_rng(1)
+        inst = random_instance(rng, 40, 0.5, "LN1")
+        assert cyclic_optimum(inst) == pytest.approx(inst.source_bw, rel=1e-9)
+
+    def test_explicit_source_respected(self):
+        rng = np.random.default_rng(1)
+        inst = random_instance(rng, 10, 0.5, "LN1", source_bw=7.0)
+        assert inst.source_bw == 7.0
+
+    def test_callable_distribution(self):
+        rng = np.random.default_rng(1)
+        inst = random_instance(rng, 5, 1.0, lambda r, s: np.ones(s) * 3.0)
+        assert inst.open_bws == (3.0,) * 5
+
+    def test_bad_open_prob(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            random_instance(rng, 5, 1.5, "Unif100")
+
+    def test_deterministic_given_seed(self):
+        a = random_instance(np.random.default_rng(9), 20, 0.5, "Power1")
+        b = random_instance(np.random.default_rng(9), 20, 0.5, "Power1")
+        assert a == b
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_open_fraction_statistics(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = random_instance(rng, 400, 0.7, "Unif100")
+        assert 0.5 < inst.n / inst.num_receivers < 0.9

@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.core.instance."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Instance, InvalidInstanceError, NodeKind
+
+from .conftest import instances
+
+
+class TestConstruction:
+    def test_basic_sizes(self):
+        inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+        assert inst.n == 2
+        assert inst.m == 3
+        assert inst.num_nodes == 6
+        assert inst.num_receivers == 5
+
+    def test_sorts_descending_within_classes(self):
+        inst = Instance(1.0, (2.0, 9.0, 5.0), (1.0, 7.0))
+        assert inst.open_bws == (9.0, 5.0, 2.0)
+        assert inst.guarded_bws == (7.0, 1.0)
+
+    def test_open_only_constructor(self):
+        inst = Instance.open_only(3.0, (1.0, 2.0))
+        assert inst.m == 0
+        assert inst.open_bws == (2.0, 1.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(1.0, (-0.5,), ())
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(float("nan"), (), ())
+        with pytest.raises(InvalidInstanceError):
+            Instance(1.0, (float("inf"),), ())
+
+    def test_empty_instance_is_legal(self):
+        inst = Instance(1.0)
+        assert inst.num_receivers == 0
+
+    def test_from_unsorted_permutation(self):
+        inst, perm = Instance.from_unsorted(1.0, [2.0, 9.0], [3.0, 8.0])
+        # canonical node 1 is the 9.0 open node = original index 2
+        assert inst.open_bws == (9.0, 2.0)
+        assert perm[0] == 0
+        assert perm[1] == 2  # original position of the 9.0 node
+        assert perm[2] == 1
+        assert perm[3] == 4  # original position of the 8.0 guarded node
+        assert perm[4] == 3
+
+    def test_integers_accepted_and_coerced(self):
+        inst = Instance(6, (5, 5), (4, 1, 1))
+        assert inst.source_bw == 6.0
+        assert isinstance(inst.bandwidth(1), float)
+
+
+class TestIndexing:
+    def setup_method(self):
+        self.inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+
+    def test_bandwidth_by_paper_index(self):
+        assert self.inst.bandwidth(0) == 6.0
+        assert self.inst.bandwidth(1) == 5.0
+        assert self.inst.bandwidth(3) == 4.0
+        assert self.inst.bandwidth(5) == 1.0
+
+    def test_bandwidth_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.inst.bandwidth(6)
+        with pytest.raises(IndexError):
+            self.inst.bandwidth(-1)
+
+    def test_classification(self):
+        assert self.inst.is_open(0)  # the source is open
+        assert self.inst.is_open(2)
+        assert self.inst.is_guarded(3)
+        assert self.inst.kind(4) == NodeKind.GUARDED
+        assert self.inst.kind(1) == NodeKind.OPEN
+
+    def test_node_ranges(self):
+        assert list(self.inst.open_nodes()) == [1, 2]
+        assert list(self.inst.guarded_nodes()) == [3, 4, 5]
+        assert list(self.inst.receivers()) == [1, 2, 3, 4, 5]
+
+    def test_can_send_firewall(self):
+        assert self.inst.can_send(0, 3)  # open -> guarded
+        assert self.inst.can_send(3, 1)  # guarded -> open
+        assert not self.inst.can_send(3, 4)  # guarded -> guarded
+        assert not self.inst.can_send(2, 2)  # self-loop
+
+    def test_bandwidths_list_order(self):
+        assert self.inst.bandwidths() == [6.0, 5.0, 5.0, 4.0, 1.0, 1.0]
+
+
+class TestAggregates:
+    def test_open_guarded_sums(self):
+        inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+        assert inst.open_sum == 10.0
+        assert inst.guarded_sum == 6.0
+        assert inst.total_bw == 22.0
+
+    def test_prefix_sums_match_definition(self):
+        inst = Instance(6.0, (5.0, 3.0, 1.0), ())
+        assert inst.prefix_sum(-1) == 0.0
+        assert inst.prefix_sum(0) == 6.0
+        assert inst.prefix_sum(2) == 14.0
+        assert inst.prefix_sums() == [6.0, 11.0, 14.0, 15.0]
+
+    def test_prefix_sum_out_of_range(self):
+        inst = Instance(6.0, (5.0,), ())
+        with pytest.raises(IndexError):
+            inst.prefix_sum(2)
+
+    @given(instances())
+    def test_prefix_sums_consistent(self, inst):
+        sums = inst.prefix_sums()
+        for k in range(inst.n + 1):
+            assert math.isclose(
+                sums[k], inst.prefix_sum(k), rel_tol=1e-12, abs_tol=1e-12
+            )
+
+
+class TestDerivedInstances:
+    def test_all_open_merges_classes(self):
+        inst = Instance(1.0, (5.0,), (7.0, 2.0))
+        relaxed = inst.all_open()
+        assert relaxed.m == 0
+        assert relaxed.open_bws == (7.0, 5.0, 2.0)
+
+    def test_with_source_bw(self):
+        inst = Instance(1.0, (5.0,), ())
+        assert inst.with_source_bw(9.0).source_bw == 9.0
+        assert inst.source_bw == 1.0  # original untouched
+
+    def test_scaled(self):
+        inst = Instance(2.0, (4.0,), (6.0,))
+        double = inst.scaled(2.0)
+        assert double.source_bw == 4.0
+        assert double.open_bws == (8.0,)
+        assert double.guarded_bws == (12.0,)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(1.0).scaled(0.0)
+
+    @given(instances(), st.floats(min_value=0.1, max_value=10))
+    def test_scaling_scales_aggregates(self, inst, factor):
+        scaled = inst.scaled(factor)
+        assert math.isclose(
+            scaled.total_bw, inst.total_bw * factor, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestSerialization:
+    @given(instances())
+    def test_json_roundtrip(self, inst):
+        assert Instance.from_json(inst.to_json()) == inst
+
+    def test_dict_roundtrip(self):
+        inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+        assert Instance.from_dict(inst.to_dict()) == inst

@@ -1,0 +1,142 @@
+"""Integration tests: full pipelines crossing every module boundary."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Instance,
+    LastMileGroundTruth,
+    acyclic_guarded_scheme,
+    cyclic_open_scheme,
+    cyclic_optimum,
+    decompose_broadcast_trees,
+    estimate_lastmile,
+    fluid_schedule,
+    maxflow_throughput,
+    optimal_acyclic_throughput,
+    random_instance,
+    sample_measurements,
+    scheme_throughput,
+    simulate_packet_broadcast,
+    verify_decomposition,
+)
+
+
+class TestOptimizeDecomposeSimulate:
+    """instance -> optimal overlay -> tree schedule -> packet transport."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        rng = np.random.default_rng(42)
+        inst = random_instance(rng, 30, 0.5, "LN1")
+        t, word = optimal_acyclic_throughput(inst)
+        sol = acyclic_guarded_scheme(inst, t * (1 - 1e-9))
+        return inst, sol
+
+    def test_overlay_is_model_valid(self, pipeline):
+        inst, sol = pipeline
+        sol.scheme.validate(inst, require_acyclic=True)
+
+    def test_overlay_throughput_checked_by_maxflow(self, pipeline):
+        inst, sol = pipeline
+        assert maxflow_throughput(sol.scheme) == pytest.approx(
+            sol.throughput, rel=1e-6
+        )
+
+    def test_tree_schedule_covers_the_rate(self, pipeline):
+        inst, sol = pipeline
+        trees = decompose_broadcast_trees(sol.scheme)
+        verify_decomposition(sol.scheme, trees, sol.throughput, rel_tol=1e-6)
+        sched = fluid_schedule(sol.scheme)
+        assert sched.rate == pytest.approx(sol.throughput, rel=1e-6)
+        assert sched.worst_startup_delay() >= 1.0
+
+    def test_packet_transport_sustains_the_rate(self, pipeline):
+        inst, sol = pipeline
+        res = simulate_packet_broadcast(
+            inst,
+            sol.scheme,
+            sol.throughput,
+            slots=260,
+            seed=0,
+            packets_per_unit=2.0 / max(sol.throughput, 1e-12),
+        )
+        assert res.efficiency() > 0.85
+
+
+class TestEstimateThenOptimize:
+    """measurements -> LastMile fit -> instance -> overlay -> evaluation."""
+
+    def test_end_to_end_accuracy(self):
+        rng = np.random.default_rng(7)
+        uploads = rng.uniform(5, 80, 25)
+        truth = LastMileGroundTruth.symmetric(uploads, headroom=5.0)
+        probes = sample_measurements(
+            rng, truth, pairs_per_node=10, noise_sigma=0.05
+        )
+        est = estimate_lastmile(probes, truth.num_nodes)
+
+        est_inst = Instance(est.b_out[0], tuple(est.b_out[1:]), ())
+        true_inst = Instance(truth.b_out[0], tuple(truth.b_out[1:]), ())
+        t_est, _ = optimal_acyclic_throughput(est_inst)
+        t_true, _ = optimal_acyclic_throughput(true_inst)
+        # 5% noise, 10 probes per node: planning error stays small
+        assert t_est == pytest.approx(t_true, rel=0.15)
+
+
+class TestCyclicVsAcyclicEndToEnd:
+    def test_open_only_cyclic_beats_acyclic_and_simulates(self):
+        rng = np.random.default_rng(3)
+        inst = random_instance(rng, 12, 1.0, "Unif100")
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        t_cy = cyclic_optimum(inst)
+        scheme = cyclic_open_scheme(inst)
+        assert maxflow_throughput(scheme) == pytest.approx(t_cy, rel=1e-6)
+        assert t_cy >= t_ac - 1e-9
+        res = simulate_packet_broadcast(
+            inst,
+            scheme,
+            t_cy,
+            slots=260,
+            seed=1,
+            packets_per_unit=2.0 / max(t_cy, 1e-12),
+        )
+        assert res.efficiency() > 0.8
+
+
+class TestDominanceIntoPipeline:
+    """Lemma 4.2/4.3 rewrites feed back into the standard machinery."""
+
+    def test_increasing_rewrite_then_word_extraction(self):
+        from repro import word_from_order
+        from repro.algorithms.dominance import make_increasing
+
+        from .test_dominance import random_forward_scheme, random_order
+
+        rng = np.random.default_rng(11)
+        inst = Instance(10.0, (8.0, 6.0, 4.0), (7.0, 2.0))
+        order = random_order(inst, rng)
+        scheme = random_forward_scheme(inst, order, rng)
+        rewritten, new_order = make_increasing(inst, scheme)
+        word = word_from_order(inst, new_order)  # must not raise
+        assert word.count("o") == inst.n
+        assert word.count("g") == inst.m
+
+
+class TestScaleInvarianceEndToEnd:
+    def test_pipeline_commutes_with_scaling(self):
+        rng = np.random.default_rng(5)
+        inst = random_instance(rng, 15, 0.5, "Unif100")
+        scaled = inst.scaled(3.5)
+        t1, w1 = optimal_acyclic_throughput(inst)
+        t2, w2 = optimal_acyclic_throughput(scaled)
+        assert w1 == w2
+        assert t2 == pytest.approx(3.5 * t1, rel=1e-9)
+
+    def test_units_do_not_matter_for_ratios(self):
+        rng = np.random.default_rng(6)
+        inst = random_instance(rng, 15, 0.5, "PLab")
+        scaled = inst.scaled(0.001)  # Mbit/s -> Gbit/s
+        r1 = optimal_acyclic_throughput(inst)[0] / cyclic_optimum(inst)
+        r2 = optimal_acyclic_throughput(scaled)[0] / cyclic_optimum(scaled)
+        assert r1 == pytest.approx(r2, rel=1e-9)

@@ -1,0 +1,112 @@
+"""Tests for the shared float-comparison helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.numerics import (
+    assert_finite_nonneg,
+    clamp_nonneg,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    fnonneg,
+    fpos,
+    kahan_sum,
+    safe_ceil_div,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestComparisons:
+    def test_feq_within_tolerance(self):
+        assert feq(1.0, 1.0 + 1e-12)
+        assert not feq(1.0, 1.001)
+
+    def test_relative_scaling(self):
+        assert feq(1e9, 1e9 + 0.5)  # relative tolerance dominates
+        assert not feq(1e-3, 2e-3)
+
+    def test_strict_variants_exclude_band(self):
+        assert not fgt(1.0, 1.0)
+        assert not flt(1.0, 1.0)
+        assert fgt(1.0 + 1e-3, 1.0)
+        assert flt(1.0, 1.0 + 1e-3)
+
+    @given(floats, floats)
+    def test_trichotomy(self, x, y):
+        assert fle(x, y) or fge(x, y)
+        if flt(x, y):
+            assert not fgt(x, y) and not feq(x, y)
+
+    def test_fpos_and_fnonneg(self):
+        assert fpos(1e-3)
+        assert not fpos(1e-12)
+        assert fnonneg(-1e-12)
+        assert not fnonneg(-1e-3)
+
+
+class TestClamp:
+    def test_clamps_tiny_negatives(self):
+        assert clamp_nonneg(-1e-12) == 0.0
+
+    def test_preserves_real_negatives(self):
+        assert clamp_nonneg(-1.0) == -1.0
+
+    def test_preserves_positives(self):
+        assert clamp_nonneg(2.5) == 2.5
+
+
+class TestSafeCeilDiv:
+    def test_exact_quotients_not_bumped(self):
+        assert safe_ceil_div(6.0, 3.0) == 2
+        assert safe_ceil_div(6.0, 2.0) == 3
+
+    def test_fractional_quotients_ceiled(self):
+        assert safe_ceil_div(7.0, 3.0) == 3
+
+    def test_float_noise_absorbed(self):
+        assert safe_ceil_div(0.1 + 0.2, 0.3) == 1  # 0.30000000000000004/0.3
+
+    def test_zero_rate_and_zero_bandwidth(self):
+        assert safe_ceil_div(5.0, 0.0) == 0
+        assert safe_ceil_div(0.0, 5.0) == 0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=1e-3, max_value=1e4),
+    )
+    def test_never_below_true_ratio(self, b, t):
+        assert safe_ceil_div(b, t) >= b / t - 1e-6
+
+
+class TestKahan:
+    def test_matches_fsum(self):
+        vals = [0.1] * 1000
+        assert kahan_sum(vals) == pytest.approx(math.fsum(vals), abs=1e-12)
+
+    def test_empty(self):
+        assert kahan_sum([]) == 0.0
+
+    @given(st.lists(floats, max_size=200))
+    def test_close_to_fsum(self, vals):
+        assert kahan_sum(vals) == pytest.approx(
+            math.fsum(vals), rel=1e-12, abs=1e-9
+        )
+
+
+class TestAssertFiniteNonneg:
+    def test_accepts_good_values(self):
+        assert_finite_nonneg([0.0, 1.5, 2.0], "test")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            assert_finite_nonneg([1.0, -0.1], "test")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            assert_finite_nonneg([float("nan")], "test")

@@ -1,0 +1,59 @@
+"""Tests for the synthetic PlanetLab bandwidth table (PLab* substitution)."""
+
+import numpy as np
+
+from repro import PLANETLAB_TABLE
+from repro.instances.planetlab import (
+    TABLE_SIZE,
+    planetlab_table,
+    sample_planetlab,
+)
+
+
+class TestTable:
+    def test_size_and_positivity(self):
+        assert len(PLANETLAB_TABLE) == TABLE_SIZE
+        assert all(v > 0 for v in PLANETLAB_TABLE)
+
+    def test_table_is_deterministic(self):
+        # regenerating the module must give the same values (fixed seed)
+        import importlib
+
+        import repro.instances.planetlab as mod
+
+        before = mod.PLANETLAB_TABLE
+        importlib.reload(mod)
+        assert mod.PLANETLAB_TABLE == before
+
+    def test_clipped_range(self):
+        assert min(PLANETLAB_TABLE) >= 0.5
+        assert max(PLANETLAB_TABLE) <= 1000.0
+
+    def test_heavy_tail_shape(self):
+        """Heterogeneity is the point: the top decile must dwarf the
+        median (PlanetLab-like spread)."""
+        table = np.asarray(PLANETLAB_TABLE)
+        assert np.quantile(table, 0.9) > 5 * np.median(table)
+        # and a genuine low-bandwidth mass exists
+        assert np.quantile(table, 0.2) < 10.0
+
+    def test_accessor_returns_same_table(self):
+        assert planetlab_table() == PLANETLAB_TABLE
+
+
+class TestSampling:
+    def test_samples_come_from_table(self):
+        rng = np.random.default_rng(0)
+        vals = sample_planetlab(rng, 100)
+        table = set(PLANETLAB_TABLE)
+        assert all(v in table for v in vals)
+
+    def test_sampling_with_replacement(self):
+        rng = np.random.default_rng(0)
+        vals = sample_planetlab(rng, 5 * TABLE_SIZE)
+        assert len(vals) == 5 * TABLE_SIZE
+
+    def test_deterministic_given_seed(self):
+        a = sample_planetlab(np.random.default_rng(4), 50)
+        b = sample_planetlab(np.random.default_rng(4), 50)
+        assert np.array_equal(a, b)

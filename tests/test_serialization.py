@@ -1,0 +1,85 @@
+"""Round-trip tests for scheme serialization and cross-object helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    BroadcastScheme,
+    acyclic_guarded_scheme,
+    figure1_instance,
+    scheme_throughput,
+)
+
+from .conftest import instances
+
+
+class TestSchemeRoundTrip:
+    def test_dict_roundtrip(self):
+        s = BroadcastScheme.from_edges(4, [(0, 1, 2.0), (1, 3, 1.5)])
+        back = BroadcastScheme.from_dict(s.to_dict())
+        assert back.isomorphic_rates(s)
+
+    def test_json_roundtrip(self):
+        s = BroadcastScheme.from_edges(3, [(0, 2, 0.25)])
+        back = BroadcastScheme.from_json(s.to_json())
+        assert back.isomorphic_rates(s)
+
+    def test_empty_scheme(self):
+        s = BroadcastScheme(5)
+        assert BroadcastScheme.from_json(s.to_json()).num_edges == 0
+
+    def test_edges_sorted_in_dict(self):
+        s = BroadcastScheme.from_edges(4, [(2, 3, 1.0), (0, 1, 1.0)])
+        data = s.to_dict()
+        assert data["edges"] == sorted(data["edges"])
+
+    @given(instances(min_receivers=1))
+    def test_pipeline_schemes_roundtrip(self, inst):
+        sol = acyclic_guarded_scheme(inst)
+        if sol.throughput == float("inf"):
+            return
+        back = BroadcastScheme.from_json(sol.scheme.to_json())
+        assert back.isomorphic_rates(sol.scheme)
+        assert scheme_throughput(back, inst) == pytest.approx(
+            scheme_throughput(sol.scheme, inst), rel=1e-12, abs=1e-12
+        )
+
+
+class TestIsomorphicRates:
+    def test_detects_equal(self):
+        a = BroadcastScheme.from_edges(3, [(0, 1, 1.0)])
+        b = BroadcastScheme.from_edges(3, [(0, 1, 1.0)])
+        assert a.isomorphic_rates(b)
+
+    def test_detects_rate_difference(self):
+        a = BroadcastScheme.from_edges(3, [(0, 1, 1.0)])
+        b = BroadcastScheme.from_edges(3, [(0, 1, 1.1)])
+        assert not a.isomorphic_rates(b)
+
+    def test_detects_edge_difference(self):
+        a = BroadcastScheme.from_edges(3, [(0, 1, 1.0)])
+        b = BroadcastScheme.from_edges(3, [(0, 2, 1.0)])
+        assert not a.isomorphic_rates(b)
+
+    def test_detects_size_difference(self):
+        a = BroadcastScheme(3)
+        b = BroadcastScheme(4)
+        assert not a.isomorphic_rates(b)
+
+    def test_tolerance(self):
+        a = BroadcastScheme.from_edges(3, [(0, 1, 1.0)])
+        b = BroadcastScheme.from_edges(3, [(0, 1, 1.0 + 1e-12)])
+        assert a.isomorphic_rates(b)
+
+
+class TestFigure1SchemePersistence:
+    def test_full_cycle(self, tmp_path):
+        inst = figure1_instance()
+        sol = acyclic_guarded_scheme(inst)
+        path = tmp_path / "overlay.json"
+        path.write_text(sol.scheme.to_json())
+        loaded = BroadcastScheme.from_json(path.read_text())
+        loaded.validate(inst, require_acyclic=True)
+        assert scheme_throughput(loaded, inst) == pytest.approx(
+            sol.throughput, rel=1e-6
+        )

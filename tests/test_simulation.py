@@ -1,0 +1,123 @@
+"""Tests for the packet simulator and the fluid schedule."""
+
+import pytest
+
+from repro import (
+    BroadcastScheme,
+    Instance,
+    acyclic_guarded_scheme,
+    cyclic_open_scheme,
+    figure1_instance,
+    fluid_schedule,
+    simulate_packet_broadcast,
+)
+
+
+class TestPacketSimBasics:
+    def test_single_edge_reaches_rate(self):
+        inst = Instance.open_only(2.0, (0.0,))
+        scheme = BroadcastScheme.from_edges(2, [(0, 1, 2.0)])
+        res = simulate_packet_broadcast(inst, scheme, 2.0, slots=200, seed=1)
+        assert res.min_goodput == pytest.approx(2.0, rel=0.1)
+        assert res.efficiency() > 0.9
+
+    def test_chain_propagates(self):
+        inst = Instance.open_only(1.0, (1.0, 0.0))
+        scheme = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        res = simulate_packet_broadcast(inst, scheme, 1.0, slots=300, seed=1)
+        assert res.goodput[2] == pytest.approx(1.0, rel=0.15)
+
+    def test_received_counts_monotone_in_slots(self):
+        inst = Instance.open_only(1.0, (0.0,))
+        scheme = BroadcastScheme.from_edges(2, [(0, 1, 1.0)])
+        short = simulate_packet_broadcast(inst, scheme, 1.0, slots=50, seed=2)
+        long = simulate_packet_broadcast(inst, scheme, 1.0, slots=200, seed=2)
+        assert long.received[1] > short.received[1]
+
+    def test_zero_rate(self):
+        inst = Instance.open_only(1.0, (0.0,))
+        scheme = BroadcastScheme.from_edges(2, [(0, 1, 1.0)])
+        res = simulate_packet_broadcast(inst, scheme, 0.0, slots=50)
+        assert res.received[1] == 0
+        assert res.efficiency() == 1.0
+
+    def test_mismatched_scheme_rejected(self):
+        inst = Instance.open_only(1.0, (0.0,))
+        with pytest.raises(ValueError):
+            simulate_packet_broadcast(inst, BroadcastScheme(5), 1.0)
+
+    def test_negative_rate_rejected(self):
+        inst = Instance.open_only(1.0, (0.0,))
+        scheme = BroadcastScheme(2)
+        with pytest.raises(ValueError):
+            simulate_packet_broadcast(inst, scheme, -1.0)
+
+    def test_deterministic_given_seed(self):
+        inst = figure1_instance()
+        scheme = acyclic_guarded_scheme(inst, 4.0).scheme
+        a = simulate_packet_broadcast(inst, scheme, 4.0, slots=80, seed=3)
+        b = simulate_packet_broadcast(inst, scheme, 4.0, slots=80, seed=3)
+        assert a.received == b.received
+
+
+class TestPacketSimOnPaperOverlays:
+    def test_fig1_acyclic_overlay_delivers(self):
+        inst = figure1_instance()
+        scheme = acyclic_guarded_scheme(inst, 4.0).scheme
+        res = simulate_packet_broadcast(
+            inst, scheme, 4.0, slots=400, seed=0, packets_per_unit=2.0
+        )
+        # every receiver sustains ~T in steady state
+        assert res.efficiency() > 0.85
+
+    def test_cyclic_overlay_delivers(self):
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        res = simulate_packet_broadcast(
+            inst, scheme, 5.0, slots=400, seed=0, packets_per_unit=2.0
+        )
+        assert res.efficiency() > 0.85
+
+    def test_overdriven_overlay_cannot_deliver(self):
+        """Injecting above the overlay throughput must show losses."""
+        inst = figure1_instance()
+        scheme = acyclic_guarded_scheme(inst, 4.0).scheme
+        res = simulate_packet_broadcast(
+            inst, scheme, 5.5, slots=400, seed=0, packets_per_unit=2.0
+        )
+        assert res.min_goodput < 5.5 * 0.85
+
+
+class TestFluidSchedule:
+    def test_rate_equals_scheme_throughput(self):
+        inst = figure1_instance()
+        scheme = acyclic_guarded_scheme(inst, 4.0).scheme
+        sched = fluid_schedule(scheme)
+        assert sched.rate == pytest.approx(4.0, rel=1e-6)
+
+    def test_arrival_curves_slope(self):
+        inst = figure1_instance()
+        scheme = acyclic_guarded_scheme(inst, 4.0).scheme
+        sched = fluid_schedule(scheme)
+        for v in inst.receivers():
+            a1 = sched.arrival(v, 100.0)
+            a2 = sched.arrival(v, 200.0)
+            assert (a2 - a1) / 100.0 == pytest.approx(4.0, rel=1e-6)
+
+    def test_startup_delay_positive_for_deep_nodes(self):
+        inst = Instance.open_only(1.0, (1.0, 0.0))
+        scheme = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        sched = fluid_schedule(scheme, hop_latency=0.5)
+        assert sched.startup_delay(1) == pytest.approx(0.5)
+        assert sched.startup_delay(2) == pytest.approx(1.0)
+        assert sched.startup_delay(0) == 0.0
+
+    def test_source_arrival_is_linear(self):
+        scheme = BroadcastScheme.from_edges(2, [(0, 1, 3.0)])
+        sched = fluid_schedule(scheme)
+        assert sched.arrival(0, 10.0) == pytest.approx(30.0)
+
+    def test_worst_startup_delay(self):
+        scheme = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        sched = fluid_schedule(scheme)
+        assert sched.worst_startup_delay() == pytest.approx(2.0)

@@ -1,0 +1,116 @@
+"""Tests for throughput evaluation, including the DAG in-rate shortcut."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    BroadcastScheme,
+    Instance,
+    dag_throughput,
+    maxflow_throughput,
+    per_receiver_flows,
+    scheme_throughput,
+)
+
+
+class TestDagThroughput:
+    def test_chain(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        assert dag_throughput(s) == pytest.approx(2.0)
+
+    def test_unfed_node_gives_zero(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0)])
+        assert dag_throughput(s) == 0.0
+
+    def test_min_over_receivers(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (0, 2, 1.0)])
+        assert dag_throughput(s) == pytest.approx(1.0)
+
+    def test_source_only(self):
+        assert dag_throughput(BroadcastScheme(1)) == float("inf")
+
+
+class TestMaxflowThroughput:
+    def test_matches_on_dag(self):
+        s = BroadcastScheme.from_edges(
+            4, [(0, 1, 3.0), (0, 2, 1.0), (1, 2, 2.0), (1, 3, 1.5), (2, 3, 1.5)]
+        )
+        assert maxflow_throughput(s) == pytest.approx(dag_throughput(s))
+
+    def test_cycle_counts_flow_correctly(self):
+        # 0 -> 1 -> 2 -> 1 cycle: node 2's maxflow is capped by the 0->1 edge.
+        s = BroadcastScheme.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 5.0), (2, 1, 5.0)]
+        )
+        # in-rate of node 1 is 6, but maxflow(0 -> 1) is only 1.
+        assert maxflow_throughput(s) == pytest.approx(1.0)
+
+    def test_per_receiver_flows(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (1, 2, 1.0)])
+        flows = per_receiver_flows(s)
+        assert flows[0] == float("inf")
+        assert flows[1] == pytest.approx(2.0)
+        assert flows[2] == pytest.approx(1.0)
+
+
+class TestSchemeThroughput:
+    def test_auto_uses_shortcut_on_dag(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        assert scheme_throughput(s) == pytest.approx(2.0)
+
+    def test_force_methods_agree_on_dag(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        assert scheme_throughput(s, method="maxflow") == pytest.approx(
+            scheme_throughput(s, method="inrate")
+        )
+
+    def test_inrate_rejected_on_cycles(self):
+        s = BroadcastScheme.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+        with pytest.raises(ValueError):
+            scheme_throughput(s, method="inrate")
+
+    def test_unknown_method_rejected(self):
+        s = BroadcastScheme(2)
+        with pytest.raises(ValueError):
+            scheme_throughput(s, method="banana")
+
+    def test_instance_size_checked(self):
+        s = BroadcastScheme(3)
+        with pytest.raises(ValueError):
+            scheme_throughput(s, Instance(1.0, (1.0,), ()))
+
+    def test_cyclic_auto_falls_back_to_maxflow(self):
+        s = BroadcastScheme.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 5.0), (2, 1, 5.0)]
+        )
+        assert scheme_throughput(s) == pytest.approx(1.0)
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAG schemes: edges always go from lower to higher index."""
+    num = draw(st.integers(min_value=2, max_value=8))
+    edges = []
+    for i in range(num):
+        for j in range(i + 1, num):
+            cap = draw(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(min_value=0.1, max_value=20.0),
+                )
+            )
+            if cap > 0:
+                edges.append((i, j, cap))
+    return BroadcastScheme.from_edges(num, edges)
+
+
+class TestShortcutProperty:
+    """The DESIGN.md cut argument: min in-rate == min max-flow on DAGs."""
+
+    @given(random_dags())
+    def test_dag_shortcut_equals_maxflow(self, scheme):
+        fast = dag_throughput(scheme)
+        slow = maxflow_throughput(scheme)
+        assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-9)

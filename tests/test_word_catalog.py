@@ -1,0 +1,149 @@
+"""Tests for omega1/omega2/proof words (Theorem 6.2's constructions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    FIVE_SEVENTHS,
+    Instance,
+    best_omega_throughput,
+    best_omega_word,
+    cyclic_optimum,
+    is_valid_word,
+    omega1,
+    omega2,
+    optimal_acyclic_throughput,
+    proof_word,
+    proof_word_throughput,
+    tight_homogeneous_instance,
+    word_throughput,
+)
+from repro.core.words import GUARDED, OPEN
+
+from .conftest import instances
+
+
+class TestShapes:
+    def test_omega1_examples(self):
+        assert omega1(2, 2) == "ogog"
+        assert omega1(3, 0) == "ooo"
+        assert omega1(0, 3) == "ggg"
+        assert omega1(2, 4) == "oggogg"
+        assert omega1(4, 2) == "oogoog"
+
+    def test_omega2_examples(self):
+        # b_i = ceil(i n / m) - ceil((i-1) n / m)
+        assert omega2(2, 2) == "gogo"
+        assert omega2(3, 0) == "ooo"
+        assert omega2(0, 3) == "ggg"
+        assert omega2(4, 2) == "googoo"
+        assert omega2(2, 4) == "goggog"
+
+    def test_letter_counts(self):
+        for n in range(0, 7):
+            for m in range(0, 7):
+                for w in (omega1(n, m), omega2(n, m)):
+                    assert w.count(OPEN) == n
+                    assert w.count(GUARDED) == m
+
+    def test_lemma_11_5_alternating_words(self):
+        for n in (2, 3, 5):
+            assert omega1(n, n) == "og" * n
+            assert omega2(n, n) == "go" * n
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            omega1(-1, 2)
+        with pytest.raises(ValueError):
+            omega2(2, -1)
+
+    def test_balanced_spreading(self):
+        # no block of guarded letters may exceed ceil(m/n) in omega1
+        import math
+
+        for n in range(1, 8):
+            for m in range(0, 12):
+                w = omega1(n, m)
+                longest = max(
+                    (len(b) for b in w.split(OPEN) if b), default=0
+                )
+                assert longest <= math.ceil(m / n)
+
+
+class TestFiveSeventhsGuarantee:
+    """Theorem 6.2 statement (5): on tight homogeneous instances one of
+    omega1/omega2 is valid at 5/7 (and the proof word selects correctly)."""
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_best_omega_at_least_five_sevenths(self, n, m, frac):
+        delta = max(0.0, 1.0 - m) + frac * (n - max(0.0, 1.0 - m))
+        if m == 0:
+            delta = float(n)
+        inst = tight_homogeneous_instance(n, m, delta)
+        t_star = cyclic_optimum(inst)
+        assert best_omega_throughput(inst) >= FIVE_SEVENTHS * t_star - 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_proof_word_at_least_five_sevenths(self, n, m, frac):
+        delta = max(0.0, 1.0 - m) + frac * (n - max(0.0, 1.0 - m))
+        if m == 0:
+            delta = float(n)
+        inst = tight_homogeneous_instance(n, m, delta)
+        t_star = cyclic_optimum(inst)
+        assert proof_word_throughput(inst) >= FIVE_SEVENTHS * t_star - 1e-9
+
+
+class TestBestOmega:
+    def test_returns_the_better_word(self):
+        inst = Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+        word, t = best_omega_word(inst)
+        assert word in (omega1(2, 3), omega2(2, 3))
+        assert t == pytest.approx(
+            max(
+                word_throughput(inst, omega1(2, 3)),
+                word_throughput(inst, omega2(2, 3)),
+            )
+        )
+
+    @given(instances(min_receivers=1))
+    def test_never_beats_the_optimum(self, inst):
+        t_ac, _ = optimal_acyclic_throughput(inst)
+        if t_ac == float("inf"):
+            return
+        assert best_omega_throughput(inst) <= t_ac * (1 + 1e-6) + 1e-9
+
+    @given(instances(min_receivers=1))
+    def test_proof_word_never_beats_best_omega(self, inst):
+        assert proof_word_throughput(inst) <= best_omega_throughput(inst) * (
+            1 + 1e-9
+        ) + 1e-9
+
+    @given(instances(min_receivers=1))
+    def test_words_are_valid_at_their_throughput(self, inst):
+        word, t = best_omega_word(inst)
+        if t > 0 and t != float("inf"):
+            assert is_valid_word(inst, word, t, slack=1e-6 * t)
+
+
+class TestProofWordSelection:
+    def test_rich_open_nodes_select_omega1(self):
+        # open bandwidth abundant -> homogenized o >= T*
+        inst = Instance(1.0, (10.0, 10.0), (0.1, 0.1))
+        assert proof_word(inst) == omega1(2, 2)
+
+    def test_poor_open_nodes_select_omega2(self):
+        # guarded nodes hold the bandwidth -> o < T*
+        inst = Instance(2.0, (0.1, 0.1), (10.0, 10.0))
+        assert proof_word(inst) == omega2(2, 2)
+
+    def test_no_open_nodes(self):
+        inst = Instance(2.0, (), (1.0, 1.0))
+        assert proof_word(inst) == "gg"

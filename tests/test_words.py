@@ -1,0 +1,196 @@
+"""Tests for the coding-word machinery (Lemma 4.4 recursions, validity,
+per-word throughput) — the heart of Section IV."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    Instance,
+    all_words,
+    cyclic_optimum,
+    homogeneous_word_valid,
+    is_valid_word,
+    word_from_order,
+    word_throughput,
+    word_to_order,
+    word_trace,
+)
+from repro.core.words import GUARDED, OPEN, check_word_shape
+
+from .conftest import instances
+
+
+@pytest.fixture
+def fig1():
+    return Instance(6.0, (5.0, 5.0), (4.0, 1.0, 1.0))
+
+
+class TestTraceAgainstTableI:
+    """The Lemma 4.4 recursion must reproduce Table I exactly."""
+
+    def test_table1_values(self, fig1):
+        states = word_trace(fig1, "gogog", 4.0)
+        assert [s.open_avail for s in states] == [6, 2, 7, 3, 5, 1]
+        assert [s.guarded_avail for s in states] == [0, 4, 0, 1, 0, 1]
+        assert [s.open_to_open for s in states] == [0, 0, 0, 0, 3, 3]
+
+    def test_trace_counts(self, fig1):
+        states = word_trace(fig1, "googg", 4.0)
+        assert states[-1].opens_used == 2
+        assert states[-1].guardeds_used == 3
+
+    def test_total_avail_identity(self, fig1):
+        """O + G = sum of bandwidths so far - |pi| T (Lemma 4.4)."""
+        T = 4.0
+        states = word_trace(fig1, "googg", T)
+        for k, s in enumerate(states):
+            consumed = (
+                fig1.source_bw
+                + sum(fig1.open_bws[: s.opens_used])
+                + sum(fig1.guarded_bws[: s.guardeds_used])
+                - k * T
+            )
+            assert s.total_avail == pytest.approx(consumed)
+
+
+class TestWordShapes:
+    def test_alphabet_checked(self, fig1):
+        with pytest.raises(ValueError, match="letters"):
+            check_word_shape(fig1, "goxgg")
+
+    def test_complete_word_counts(self, fig1):
+        with pytest.raises(ValueError, match="complete"):
+            check_word_shape(fig1, "gog")
+        check_word_shape(fig1, "gog", complete=False)
+
+    def test_partial_cannot_overrun(self, fig1):
+        with pytest.raises(ValueError, match="more"):
+            check_word_shape(fig1, "gggg", complete=False)
+
+
+class TestValidity:
+    def test_figure2_word_valid_at_4(self, fig1):
+        assert is_valid_word(fig1, "googg", 4.0)
+
+    def test_figure5_word_valid_at_4(self, fig1):
+        assert is_valid_word(fig1, "gogog", 4.0)
+
+    def test_not_valid_above_acyclic_optimum(self, fig1):
+        # T*_ac = 4 for the Figure 1 instance
+        for word in all_words(2, 3):
+            assert not is_valid_word(fig1, word, 4.2)
+
+    def test_all_words_valid_at_zero(self, fig1):
+        for word in all_words(2, 3):
+            assert is_valid_word(fig1, word, 0.0)
+
+    def test_guarded_first_requires_source_bandwidth(self):
+        inst = Instance(1.0, (), (5.0, 5.0))
+        assert is_valid_word(inst, "gg", 0.5)
+        assert not is_valid_word(inst, "gg", 0.6)  # 2 * 0.6 > b0
+
+    def test_slack_loosens(self, fig1):
+        t = 4.0 + 1e-12
+        assert not is_valid_word(fig1, "gogog", t)
+        assert is_valid_word(fig1, "gogog", t, slack=1e-9)
+
+    @given(instances(), st.floats(min_value=0.0, max_value=50.0))
+    def test_validity_monotone_in_throughput(self, inst, t):
+        """A word valid at T stays valid at any smaller rate."""
+        word = GUARDED * inst.m + OPEN * inst.n
+        if is_valid_word(inst, word, t):
+            assert is_valid_word(inst, word, t * 0.7)
+            assert is_valid_word(inst, word, 0.0)
+
+
+class TestWordThroughput:
+    def test_fig1_word_values(self, fig1):
+        assert word_throughput(fig1, "googg") == pytest.approx(4.0, rel=1e-9)
+        assert word_throughput(fig1, "gogog") == pytest.approx(4.0, rel=1e-9)
+
+    def test_upper_cap_short_circuit(self, fig1):
+        """If the word is valid at the cyclic optimum, return it directly."""
+        inst = Instance.open_only(10.0, (0.0,))
+        # single node: T*_ac = T* = min(10, 10/1) = 10; word 'o' valid at 10
+        assert word_throughput(inst, "o") == pytest.approx(10.0)
+
+    def test_result_is_always_feasible(self, fig1):
+        for word in all_words(2, 3):
+            t = word_throughput(fig1, word)
+            assert is_valid_word(fig1, word, t, slack=1e-9 * max(t, 1.0))
+
+    def test_never_exceeds_cyclic_optimum(self, fig1):
+        t_star = cyclic_optimum(fig1)
+        for word in all_words(2, 3):
+            assert word_throughput(fig1, word) <= t_star + 1e-9
+
+    @given(instances(min_receivers=1))
+    def test_guarded_first_word_throughput_feasible(self, inst):
+        word = GUARDED * inst.m + OPEN * inst.n
+        t = word_throughput(inst, word)
+        assert t >= 0.0
+        assert is_valid_word(inst, word, t, slack=1e-6 * max(t, 1.0))
+
+
+class TestOrders:
+    def test_word_to_order_fig1(self, fig1):
+        assert word_to_order(fig1, "googg") == [0, 3, 1, 2, 4, 5]
+        assert word_to_order(fig1, "gogog") == [0, 3, 1, 4, 2, 5]
+
+    def test_order_roundtrip(self, fig1):
+        for word in all_words(2, 3):
+            order = word_to_order(fig1, word)
+            assert word_from_order(fig1, order) == word
+
+    def test_non_increasing_order_rejected(self, fig1):
+        # swapping the two open nodes breaks the increasing property
+        with pytest.raises(ValueError, match="increasing"):
+            word_from_order(fig1, [0, 3, 2, 1, 4, 5])
+
+    def test_order_must_start_at_source(self, fig1):
+        with pytest.raises(ValueError):
+            word_from_order(fig1, [3, 0, 1, 2, 4, 5])
+
+
+class TestAllWords:
+    def test_count_is_binomial(self):
+        assert len(list(all_words(2, 3))) == 10  # C(5, 2)
+        assert len(list(all_words(0, 4))) == 1
+        assert len(list(all_words(3, 0))) == 1
+
+    def test_letters_counted(self):
+        for word in all_words(2, 2):
+            assert word.count(OPEN) == 2
+            assert word.count(GUARDED) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(all_words(-1, 2))
+
+
+class TestHomogeneousOracle:
+    """Independent Lemma 11.2 oracle vs the step recursion."""
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_matches_recursion_on_homogeneous_instances(
+        self, n, m, b0, o, g, t, word_seed
+    ):
+        inst = Instance(b0, tuple([o] * n), tuple([g] * m))
+        words = list(all_words(n, m))
+        word = words[word_seed % len(words)]
+        assert homogeneous_word_valid(b0, o, g, word, t) == is_valid_word(
+            inst, word, t
+        )
+
+    def test_zero_rate_always_valid(self):
+        assert homogeneous_word_valid(1.0, 0.0, 0.0, "gggoo", 0.0)
