@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Adaptive re-optimization under churn (the conclusion's caveat, closed).
+
+The paper's overlays are optimal on a frozen platform; its conclusion
+warns they are "probably not resilient to churn".  This walkthrough uses
+:mod:`repro.runtime` to show the caveat *and* its fix on a live swarm:
+
+1. replay a correlated rack failure under the static (no-repair) policy
+   and watch the survivors starve;
+2. replay the same trace with reactive repair — the controller rebuilds
+   the Theorem 4.1 overlay on the survivors the moment the departure
+   lands, recovering the recomputed optimum ``T*_ac``;
+3. sweep scenario x controller x seed through the parallel batch runner
+   and print the policy comparison table.
+
+Run:  python examples/adaptive_churn.py [seed]
+"""
+
+import sys
+
+from repro.runtime import (
+    RackFailure,
+    RuntimeEngine,
+    SteadyChurn,
+    make_controller,
+    run_batch,
+    scenario_grid,
+    summarize_batch,
+)
+
+#: Down-scaled specs so the example finishes in seconds.
+RACK = RackFailure(size=16, fraction=0.4, at=150, horizon=300)
+CHURN = SteadyChurn(size=16, join_rate=0.04, leave_rate=0.04, horizon=300)
+
+
+def replay(name: str, controller_name: str, seed: int) -> None:
+    spec = {"rack-failure": RACK, "steady-churn": CHURN}[name]
+    run = spec.build(seed, name=name)
+    engine = RuntimeEngine(run.platform, run.events, run.horizon, seed=seed)
+    result = engine.run(make_controller(controller_name))
+    print(f"--- {name} under the {controller_name!r} policy ---")
+    for e in result.epochs:
+        print(
+            f"  slots {e.start:>3}-{e.end:<3}  alive={e.num_alive:<2} "
+            f"planned={e.planned_rate:7.2f}  T*_ac={e.optimal_rate:7.2f}  "
+            f"worst goodput={e.min_goodput:7.2f} "
+            f"({100 * e.delivered_fraction:3.0f}% of plan)"
+            f"{'  [rebuilt]' if e.rebuilt else ''}"
+            f"{f'  [{e.starved} starved]' if e.starved else ''}"
+        )
+    print(
+        f"  => rebuilds={result.rebuilds}, "
+        f"mean delivered={result.mean_delivered_fraction:.3f}, "
+        f"worst epoch={result.worst_delivered_fraction:.3f}\n"
+    )
+
+
+def main(seed: int = 1) -> None:
+    print("Step 1/3: a rack failure with NO repair — the paper's caveat")
+    replay("rack-failure", "static", seed)
+
+    print("Step 2/3: the same trace with reactive re-optimization")
+    replay("rack-failure", "reactive", seed)
+
+    print("Step 3/3: policy sweep on worker processes (batch runner)")
+    jobs = scenario_grid(
+        [RACK, CHURN],
+        ["static", "periodic", "reactive"],
+        seeds=(seed, seed + 1),
+        controller_kwargs={"periodic": {"period": 75}},
+    )
+    results = run_batch(jobs, max_workers=4)
+    print(summarize_batch(results))
+
+    by_policy = {}
+    for r in results:
+        by_policy.setdefault(r.controller, []).append(r.mean_delivered)
+    means = {c: sum(v) / len(v) for c, v in by_policy.items()}
+    print(
+        "\nmean delivered fraction by policy: "
+        + ", ".join(f"{c}={m:.3f}" for c, m in sorted(means.items()))
+    )
+    print(
+        "Adaptive re-optimization turns the churn caveat into a "
+        "repair-latency knob: reactive repair recovers the recomputed "
+        "optimum within one epoch."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

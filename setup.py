@@ -1,11 +1,46 @@
-"""Setup shim for legacy editable installs.
+"""Packaging for the bounded multi-port broadcast reproduction.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 660 editable wheels cannot be built; ``pip install -e . --no-build-isolation``
-falls back to this classic ``setup.py develop`` path.  All metadata lives
-in ``pyproject.toml``.
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable wheels cannot be built; ``pip install -e .
+--no-build-isolation`` falls back to the classic ``setup.py develop``
+path, which is why the metadata lives here rather than in a
+``pyproject.toml``.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_readme = Path(__file__).with_name("README.md")
+
+setup(
+    name="repro-bounded-multiport",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Broadcasting on Large Scale Heterogeneous "
+        "Platforms under the Bounded Multi-Port Model' (Beaumont et al.), "
+        "plus an event-driven runtime for dynamic platforms"
+    ),
+    long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",  # LP reference solvers (HiGHS via scipy.optimize.linprog)
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "networkx"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -13,6 +13,27 @@ Quick tour
 >>> round(t_ac, 9), word
 (4.0, 'gogog')
 
+Dynamic platforms (``repro.runtime``)
+-------------------------------------
+
+The static pipeline above freezes the platform; the runtime subsystem
+replays *evolving* swarms (join/leave/bandwidth-drift events) through an
+event-driven engine and re-runs the optimizer under pluggable controller
+policies (static / periodic / reactive):
+
+>>> from repro.runtime import get_scenario, scenario_names
+>>> sorted(scenario_names())[:3]
+['diurnal', 'flash-crowd', 'live-stream']
+>>> run = get_scenario("rack-failure").build(seed=1)
+>>> (run.platform.num_alive, len(run.events)) == (30, 9)
+True
+
+Feed ``run`` to :class:`~repro.runtime.RuntimeEngine` with a controller
+to get per-epoch goodput, repair latency, and delivered-vs-planned rate;
+:func:`~repro.runtime.run_batch` fans whole scenario grids across worker
+processes.  From a shell: ``python -m repro runtime --scenario
+steady-churn --controller reactive``.
+
 Subpackages
 -----------
 
@@ -24,7 +45,9 @@ Subpackages
   every named family from the figures/proofs;
 * :mod:`repro.simulation` — randomized packet transport + fluid schedules;
 * :mod:`repro.estimation` — Bedibe-style LastMile model instantiation;
-* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.runtime` — event-driven dynamic-platform engine, adaptive
+  re-optimization controllers, scenario registry, parallel batch sweeps.
 """
 
 from .algorithms import (
@@ -131,6 +154,32 @@ from .instances import (
     tight_homogeneous_instance,
     verify_strict_degree_scheme,
 )
+from .runtime import (
+    BandwidthDrift,
+    BatchJob,
+    DynamicPlatform,
+    EpochReport,
+    NodeJoin,
+    NodeLeave,
+    OverlayCache,
+    PeriodicController,
+    Plan,
+    ReactiveController,
+    RunResult,
+    RunSummary,
+    RuntimeEngine,
+    Scenario,
+    ScenarioRun,
+    StaticController,
+    controller_names,
+    get_scenario,
+    make_controller,
+    register_scenario,
+    run_batch,
+    scenario_grid,
+    scenario_names,
+    summarize_batch,
+)
 from .simulation import (
     FluidSchedule,
     PacketSimResult,
@@ -236,6 +285,31 @@ __all__ = [
     "verify_strict_degree_scheme",
     "brute_force_three_partition",
     "random_yes_instance",
+    # runtime
+    "RuntimeEngine",
+    "DynamicPlatform",
+    "NodeJoin",
+    "NodeLeave",
+    "BandwidthDrift",
+    "OverlayCache",
+    "Plan",
+    "EpochReport",
+    "RunResult",
+    "StaticController",
+    "PeriodicController",
+    "ReactiveController",
+    "make_controller",
+    "controller_names",
+    "Scenario",
+    "ScenarioRun",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "BatchJob",
+    "RunSummary",
+    "run_batch",
+    "scenario_grid",
+    "summarize_batch",
     # simulation
     "simulate_packet_broadcast",
     "PacketSimResult",

@@ -3,32 +3,37 @@
 The conclusion of the paper states the constructed overlays "should be
 resilient to small variations in the communication performance of nodes.
 However [the solution] is probably not resilient to churn."  This module
-turns that remark into a measurement:
+turns that remark into a measurement, delegating the mechanics to the
+event-driven engine of :mod:`repro.runtime`:
 
 1. build the Theorem 4.1 overlay for a swarm;
-2. fail the structurally most-important relay (largest forwarded rate)
-   halfway through a packet simulation and measure the goodput collapse
-   of the nodes downstream of it;
-3. *static repair*: recompute the overlay on the surviving instance
-   (what a tracker-style controller would do) and measure the recovered
-   rate — the repaired rate is simply ``T*_ac`` of the surviving swarm.
+2. schedule the departure of the structurally most-important relay
+   (largest forwarded rate) halfway through the run and replay the
+   platform under the *static* (no-repair) controller, measuring the
+   goodput collapse of the nodes downstream of it;
+3. *static repair*: the repaired rate a tracker-style recomputation
+   would restore is the recomputed ``T*_ac`` of the surviving swarm —
+   which the engine recomputes (memoized) for every epoch anyway.
 
 The headline numbers: churn is indeed catastrophic without repair
 (downstream nodes starve), while a recomputation restores near-optimal
 throughput — i.e. the fragility lies in the static overlay, not in the
-model.
+model.  The full dynamic story (reactive/periodic repair, scenario
+sweeps) lives in :mod:`repro.runtime`; this module keeps the original
+single-failure headline experiment and its report shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from ..algorithms.acyclic_guarded import acyclic_guarded_scheme
-from ..core.instance import Instance
 from ..instances.generators import random_instance
-from ..simulation.packet_sim import simulate_packet_broadcast
+from ..runtime.controller import StaticController
+from ..runtime.engine import OverlayCache, RuntimeEngine
+from ..runtime.events import DynamicPlatform, NodeLeave
 
 __all__ = ["ChurnReport", "churn_experiment"]
 
@@ -41,7 +46,7 @@ class ChurnReport:
     planned_rate: float  #: overlay rate before the failure
     failed_node: int  #: the relay that departs
     failed_forwarding: float  #: rate it was forwarding
-    healthy_min_goodput: float  #: worst goodput, no failure (control run)
+    healthy_min_goodput: float  #: worst goodput, no failure (control epoch)
     churn_min_goodput: float  #: worst goodput among survivors, post-failure
     starved_nodes: int  #: survivors below 50% of the planned rate
     repaired_rate: float  #: T*_ac of the surviving swarm (static repair)
@@ -61,71 +66,49 @@ class ChurnReport:
         return self.repaired_rate / self.planned_rate
 
 
-def _surviving_instance(
-    instance: Instance, failed: int
-) -> Instance:
-    """The swarm without the failed node (source never fails)."""
-    opens = list(instance.open_bws)
-    guardeds = list(instance.guarded_bws)
-    if instance.is_open(failed):
-        opens.pop(failed - 1)
-    else:
-        guardeds.pop(failed - instance.n - 1)
-    return Instance(instance.source_bw, tuple(opens), tuple(guardeds))
-
-
 def churn_experiment(
     size: int = 40,
     open_prob: float = 0.5,
     *,
     distribution: str = "Unif100",
     slots: int = 300,
-    seed: int = 23,
+    seed: Optional[int] = 23,
 ) -> ChurnReport:
-    """Fail the busiest relay mid-run and measure collapse + repair."""
+    """Fail the busiest relay mid-run and measure collapse + repair.
+
+    One engine run under the no-repair policy: the epoch before the
+    departure is the healthy control window, the epoch after it shows the
+    collapse, and the recomputed per-epoch ``T*_ac`` of the survivors is
+    exactly the rate a static re-optimization would restore.
+    """
     rng = np.random.default_rng(seed)
     inst = random_instance(rng, size, open_prob, distribution)
-    sol = acyclic_guarded_scheme(inst)
-    rate = sol.throughput * (1 - 1e-9)
-    scheme = sol.scheme
+
+    cache = OverlayCache()
+    sol = cache.solve(inst)
 
     # The busiest relay: the non-source node forwarding the most rate.
-    forwarding = [(scheme.out_rate(v), v) for v in inst.receivers()]
+    forwarding = [(sol.scheme.out_rate(v), v) for v in inst.receivers()]
     failed_forwarding, failed = max(forwarding)
 
-    ppu = 2.0 / max(rate, 1e-12)  # ~2 packets per slot regardless of units
-    control = simulate_packet_broadcast(
-        inst, scheme, rate, slots=slots, seed=seed, packets_per_unit=ppu
-    )
-    churned = simulate_packet_broadcast(
-        inst,
-        scheme,
-        rate,
-        slots=slots,
+    platform = DynamicPlatform.from_instance(inst)
+    engine = RuntimeEngine(
+        platform,
+        [NodeLeave(time=slots // 2, node_id=failed)],
+        slots,
         seed=seed,
-        packets_per_unit=ppu,
-        failures={failed: slots // 2},
+        cache=cache,
+        warmup_fraction=0.3,
     )
-    survivors = [
-        v for v in inst.receivers() if v != failed
-    ]
-    churn_min = min(churned.goodput[v] for v in survivors)
-    starved = sum(
-        1 for v in survivors if churned.goodput[v] < 0.5 * rate
-    )
-
-    from ..algorithms.acyclic_guarded import optimal_acyclic_throughput
-
-    repaired_rate, _ = optimal_acyclic_throughput(
-        _surviving_instance(inst, failed)
-    )
+    result = engine.run(StaticController())
+    healthy, churned = result.epochs[0], result.epochs[-1]
     return ChurnReport(
         size=size,
         planned_rate=sol.throughput,
         failed_node=failed,
         failed_forwarding=failed_forwarding,
-        healthy_min_goodput=control.min_goodput,
-        churn_min_goodput=churn_min,
-        starved_nodes=starved,
-        repaired_rate=repaired_rate,
+        healthy_min_goodput=healthy.min_goodput,
+        churn_min_goodput=churned.min_goodput,
+        starved_nodes=churned.starved,
+        repaired_rate=churned.optimal_rate,
     )

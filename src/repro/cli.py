@@ -9,10 +9,15 @@ Usage::
     python -m repro ablations
     python -m repro solve --source 6 --open 5 5 --guarded 4 1 1
     python -m repro demo
+    python -m repro runtime --scenario steady-churn --controller reactive
+    python -m repro runtime --batch --scenario rack-failure
 
 ``--full`` switches the sweeps to paper scale (equivalent to
 ``REPRO_FULL=1``).  ``solve`` runs the whole pipeline on an ad-hoc
-instance and prints the overlay.
+instance and prints the overlay.  ``runtime`` replays a dynamic-platform
+scenario through the event-driven engine (per-epoch goodput report); in
+``--batch`` mode it sweeps every controller policy across worker
+processes.
 """
 
 from __future__ import annotations
@@ -67,6 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--cyclic", action="store_true",
                        help="build the Theorem 5.2 cyclic scheme "
                             "(open-only instances)")
+
+    runtime = sub.add_parser(
+        "runtime",
+        help="event-driven dynamic-platform run (repro.runtime)",
+    )
+    runtime.add_argument("--scenario", default="steady-churn",
+                         help="registered scenario name (see --list)")
+    runtime.add_argument("--controller", default="reactive",
+                         help="re-optimization policy (see --list)")
+    runtime.add_argument("--seed", type=int, default=0,
+                         help="seed for swarm sampling, events, transport")
+    runtime.add_argument("--period", type=int, default=120,
+                         help="rebuild period of the periodic controller")
+    runtime.add_argument("--tick", type=int, default=1,
+                         help="minimum epoch length in slots "
+                              "(batches event storms)")
+    runtime.add_argument("--batch", action="store_true",
+                         help="sweep the scenario across every controller "
+                              "in parallel instead of one run")
+    runtime.add_argument("--seeds", type=int, default=3,
+                         help="number of seeds per cell in --batch mode "
+                              "(starting at --seed)")
+    runtime.add_argument("--workers", type=int, default=None,
+                         help="worker processes for --batch")
+    runtime.add_argument("--list", action="store_true", dest="list_names",
+                         help="list registered scenarios and controllers")
     return parser
 
 
@@ -260,6 +291,111 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from .experiments.common import format_table
+    from .runtime import (
+        RuntimeEngine,
+        controller_names,
+        get_scenario,
+        make_controller,
+        run_batch,
+        scenario_grid,
+        scenario_names,
+        summarize_batch,
+    )
+
+    if args.list_names:
+        print("scenarios  :", ", ".join(scenario_names()))
+        print("controllers:", ", ".join(controller_names()))
+        return 0
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.tick < 1:
+        print(f"error: --tick must be >= 1, got {args.tick}", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print(f"error: --seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    if args.controller not in controller_names():
+        print(
+            f"error: unknown controller {args.controller!r} "
+            f"(known: {', '.join(controller_names())})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.batch:
+        seeds = range(args.seed, args.seed + args.seeds)
+        jobs = scenario_grid(
+            [args.scenario],
+            controller_names(),
+            seeds=seeds,
+            controller_kwargs={"periodic": {"period": args.period}},
+            engine_kwargs={"min_epoch_slots": args.tick},
+        )
+        print(
+            f"sweep: {args.scenario} x {{{', '.join(controller_names())}}} "
+            f"x seeds {seeds.start}..{seeds.stop - 1} ({len(jobs)} runs; "
+            f"--controller is ignored, every policy is swept)"
+        )
+        print(summarize_batch(run_batch(jobs, max_workers=args.workers)))
+        return 0
+
+    kwargs = {"period": args.period} if args.controller == "periodic" else {}
+    try:
+        controller = make_controller(args.controller, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = spec.build(args.seed, name=args.scenario)
+    print(
+        f"scenario {args.scenario!r}: {run.platform.num_alive} receivers, "
+        f"{len(run.events)} events over {run.horizon} slots; "
+        f"controller {args.controller!r}, seed {args.seed}"
+    )
+    engine = RuntimeEngine(
+        run.platform,
+        run.events,
+        run.horizon,
+        seed=args.seed,
+        min_epoch_slots=args.tick,
+    )
+    result = engine.run(controller)
+    print(
+        format_table(
+            ["epoch", "slots", "alive", "planned", "T*_ac", "min goodput",
+             "delivered", "starved", "rebuilt"],
+            [
+                [
+                    f"{e.start}-{e.end}", e.slots, e.num_alive,
+                    f"{e.planned_rate:.3f}", f"{e.optimal_rate:.3f}",
+                    f"{e.min_goodput:.3f}", f"{e.delivered_fraction:.2f}",
+                    e.starved, "yes" if e.rebuilt else "-",
+                ]
+                for e in result.epochs
+            ],
+        )
+    )
+    latency = (
+        "-"
+        if result.mean_repair_latency is None
+        else f"{result.mean_repair_latency:.1f} slots"
+    )
+    print(
+        f"rebuilds={result.rebuilds}  "
+        f"mean delivered={result.mean_delivered_fraction:.3f}  "
+        f"mean vs T*_ac={result.mean_optimality_fraction:.3f}  "
+        f"repair latency={latency}  "
+        f"overlay cache={result.cache_hits}/"
+        f"{result.cache_hits + result.cache_misses}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "full", False):
@@ -274,6 +410,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "runtime":
+        return _cmd_runtime(args)
     return dispatch[args.command]()
 
 

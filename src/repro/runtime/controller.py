@@ -1,0 +1,163 @@
+"""Controller policies: when does the tracker re-run the optimizer?
+
+The engine is deliberately policy-free; everything about *when* to pay
+for a re-optimization lives here.  Three built-in policies span the
+design space the paper's conclusion gestures at:
+
+* :class:`StaticController` — the paper's setting: optimize once, never
+  repair.  Under churn this starves every peer downstream of a departure
+  (the baseline the other policies are measured against).
+* :class:`PeriodicController` — a tracker on a timer: rebuild every
+  ``period`` slots whether or not anything changed.  Bounded staleness,
+  bounded (amortized) optimization cost, no event feed required.
+* :class:`ReactiveController` — event-triggered repair: rebuild as soon
+  as membership changes (departures always; arrivals optionally), go
+  back to sleep otherwise.
+
+Custom policies subclass :class:`Controller` (three small hooks) and can
+be registered by name in :data:`CONTROLLERS` so the CLI and the batch
+runner can spawn them from picklable specs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from .events import BandwidthDrift, Event, NodeJoin, NodeLeave
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Plan, RuntimeEngine
+
+__all__ = [
+    "Controller",
+    "StaticController",
+    "PeriodicController",
+    "ReactiveController",
+    "CONTROLLERS",
+    "make_controller",
+    "controller_names",
+]
+
+
+class Controller:
+    """Base policy: build the initial overlay, then never touch it.
+
+    Subclasses override :meth:`on_change` (react to applied events) and
+    optionally :meth:`wake_after` (request an epoch boundary even when no
+    event is pending — how the periodic policy gets its timer).
+    """
+
+    name = "base"
+
+    def start(self, engine: "RuntimeEngine") -> "Plan":
+        """Initial overlay for the starting population."""
+        return engine.build_plan()
+
+    def wake_after(self, now: int) -> Optional[int]:
+        """Next self-scheduled wake-up slot strictly after ``now``."""
+        return None
+
+    def on_change(
+        self, engine: "RuntimeEngine", events: tuple[Event, ...]
+    ) -> Optional["Plan"]:
+        """React to events applied at ``engine.now``.
+
+        Return a new :class:`~repro.runtime.engine.Plan` to install it,
+        or ``None`` to keep the current overlay.
+        """
+        return None
+
+
+class StaticController(Controller):
+    """No repair, ever — the paper's static overlay under churn."""
+
+    name = "static"
+
+
+class PeriodicController(Controller):
+    """Rebuild on a fixed timer, blind to the event feed."""
+
+    name = "periodic"
+
+    def __init__(self, period: int = 120) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = int(period)
+        self._last_built = 0
+
+    def start(self, engine: "RuntimeEngine") -> "Plan":
+        self._last_built = engine.now
+        return engine.build_plan()
+
+    def wake_after(self, now: int) -> Optional[int]:
+        return self._last_built + self.period
+
+    def on_change(
+        self, engine: "RuntimeEngine", events: tuple[Event, ...]
+    ) -> Optional["Plan"]:
+        if engine.now - self._last_built < self.period:
+            return None
+        self._last_built = engine.now
+        return engine.build_plan()
+
+
+class ReactiveController(Controller):
+    """Rebuild the instant membership changes; sleep otherwise.
+
+    ``on_leave``/``on_join``/``on_drift`` select which event classes
+    trigger a repair (departures by default — the catastrophic case —
+    plus arrivals, so flash crowds get served; drift repair is opt-in
+    because a sine wobble would otherwise rebuild every sample).
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        *,
+        on_leave: bool = True,
+        on_join: bool = True,
+        on_drift: bool = False,
+    ) -> None:
+        self.on_leave = on_leave
+        self.on_join = on_join
+        self.on_drift = on_drift
+
+    def _triggers(self, event: Event) -> bool:
+        if isinstance(event, NodeLeave):
+            return self.on_leave
+        if isinstance(event, NodeJoin):
+            return self.on_join
+        if isinstance(event, BandwidthDrift):
+            return self.on_drift
+        return False
+
+    def on_change(
+        self, engine: "RuntimeEngine", events: tuple[Event, ...]
+    ) -> Optional["Plan"]:
+        if any(self._triggers(ev) for ev in events):
+            return engine.build_plan()
+        return None
+
+
+#: Name -> factory registry (picklable job specs carry the name plus
+#: keyword arguments, so batch workers can rebuild the policy locally).
+CONTROLLERS: Dict[str, Callable[..., Controller]] = {
+    StaticController.name: StaticController,
+    PeriodicController.name: PeriodicController,
+    ReactiveController.name: ReactiveController,
+}
+
+
+def make_controller(name: str, **kwargs) -> Controller:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = CONTROLLERS[name]
+    except KeyError:
+        known = ", ".join(sorted(CONTROLLERS))
+        raise KeyError(f"unknown controller {name!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+def controller_names() -> list[str]:
+    return sorted(CONTROLLERS)

@@ -1,0 +1,386 @@
+"""Event-driven runtime: advance a platform through events, re-optimize.
+
+The engine turns the paper's one-shot pipeline (instance -> Theorem 4.1
+overlay -> packet simulation) into a *control loop* over a
+:class:`~repro.runtime.events.DynamicPlatform`:
+
+1. drain all events up to the current slot and apply them;
+2. let the controller policy react (keep the current overlay, or rebuild
+   it on a snapshot of the surviving swarm via the memoized
+   :class:`OverlayCache`);
+3. simulate the epoch — the interval until the next event or controller
+   wake-up — with :func:`~repro.simulation.packet_sim.
+   simulate_packet_broadcast`, marking departed overlay members as failed
+   from slot 0 so stale plans starve exactly the peers they would starve
+   in the field;
+4. record an :class:`EpochReport` (goodput, delivered-vs-planned rate,
+   distance to the *recomputed* optimum ``T*_ac``, repair bookkeeping).
+
+Everything is reproducible end to end: one ``seed`` drives the engine's
+per-epoch simulation seeds, and scenario generators receive their own
+seeded RNGs (see :mod:`repro.runtime.scenarios`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..algorithms.acyclic_guarded import AcyclicSolution, acyclic_guarded_scheme
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+from ..simulation.packet_sim import simulate_packet_broadcast
+from .events import DynamicPlatform, Event, EventQueue, NodeLeave
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .controller import Controller
+
+__all__ = [
+    "OverlayCache",
+    "Plan",
+    "EpochReport",
+    "RunResult",
+    "RuntimeEngine",
+]
+
+#: Simulated at slightly below the planned rate so credit quantization
+#: never asks the overlay for more than it provisions (same back-off the
+#: churn experiment has always used).
+RATE_BACKOFF = 1.0 - 1e-9
+
+
+class OverlayCache:
+    """Memoized Theorem 4.1 solver keyed on the canonical instance.
+
+    Churn revisits populations (a peer leaves and an identical one joins;
+    a batch sweep re-runs the same scenario under every controller), and
+    :class:`~repro.core.instance.Instance` is frozen/hashable, so a plain
+    dict turns repeated dichotomic searches into lookups.  Hit/miss
+    counters are surfaced in run results so sweeps can report how much
+    recomputation the cache absorbed.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._store: dict[Instance, AcyclicSolution] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def solve(self, instance: Instance) -> AcyclicSolution:
+        sol = self._store.get(instance)
+        if sol is not None:
+            self.hits += 1
+            return sol
+        self.misses += 1
+        sol = acyclic_guarded_scheme(instance)
+        if len(self._store) >= self.max_entries:  # unbounded growth guard
+            self._store.clear()
+        self._store[instance] = sol
+        return sol
+
+    def optimal_rate(self, instance: Instance) -> float:
+        """``T*_ac`` of ``instance`` (through the same memo)."""
+        return self.solve(instance).throughput
+
+    def stats(self) -> tuple[int, int]:
+        return self.hits, self.misses
+
+
+@dataclass
+class Plan:
+    """An overlay the controller committed to, frozen at build time.
+
+    The scheme lives in the *canonical space* of ``instance``;
+    ``node_ids[k]`` maps canonical position ``k`` back to the external id
+    it was built for.  Peers that join later are simply absent — the
+    whole point of the runtime is measuring what that costs.
+    """
+
+    instance: Instance
+    scheme: BroadcastScheme
+    rate: float
+    word: str
+    node_ids: list[int]
+    built_at: int
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass
+class EpochReport:
+    """Measurements for one epoch ``[start, end)`` of the run."""
+
+    start: int
+    end: int
+    num_alive: int  #: alive receivers on the platform during the epoch
+    planned_rate: float  #: rate the active plan provisions
+    optimal_rate: float  #: recomputed ``T*_ac`` of the alive swarm
+    min_goodput: float  #: worst alive receiver (0.0 for unplanned peers)
+    mean_goodput: float
+    starved: int  #: alive receivers below 50% of the planned rate
+    unserved: int  #: alive receivers absent from the active plan
+    rebuilt: bool  #: controller installed a new plan at ``start``
+    events: tuple[Event, ...] = ()  #: events applied at ``start``
+
+    @property
+    def slots(self) -> int:
+        return self.end - self.start
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Worst delivered rate relative to the *planned* rate."""
+        if self.planned_rate <= 0:
+            return 1.0
+        return self.min_goodput / self.planned_rate
+
+    @property
+    def optimality_fraction(self) -> float:
+        """Worst delivered rate relative to the recomputed optimum."""
+        if self.optimal_rate <= 0:
+            return 1.0
+        return self.min_goodput / self.optimal_rate
+
+
+@dataclass
+class RunResult:
+    """Everything one engine run produced."""
+
+    controller: str
+    horizon: int
+    epochs: list[EpochReport]
+    rebuilds: int
+    repair_latencies: list[int]  #: slots from each departure to the next rebuild
+    cache_hits: int
+    cache_misses: int
+    seed: Optional[int] = None
+    scenario: Optional[str] = None
+
+    def _weighted(self, attr: str) -> float:
+        total = sum(e.slots for e in self.epochs)
+        if total == 0:
+            return 1.0
+        return (
+            sum(getattr(e, attr) * e.slots for e in self.epochs) / total
+        )
+
+    @property
+    def mean_delivered_fraction(self) -> float:
+        """Slot-weighted mean of per-epoch delivered-vs-planned rate."""
+        return self._weighted("delivered_fraction")
+
+    @property
+    def mean_optimality_fraction(self) -> float:
+        """Slot-weighted mean of per-epoch delivered-vs-``T*_ac`` rate."""
+        return self._weighted("optimality_fraction")
+
+    @property
+    def worst_delivered_fraction(self) -> float:
+        if not self.epochs:
+            return 1.0
+        return min(e.delivered_fraction for e in self.epochs)
+
+    @property
+    def mean_repair_latency(self) -> Optional[float]:
+        if not self.repair_latencies:
+            return None
+        return sum(self.repair_latencies) / len(self.repair_latencies)
+
+
+@dataclass
+class _EpochSimParams:
+    """Knobs of the per-epoch packet simulation."""
+
+    packets_per_slot: float = 2.0  #: target injection granularity
+    warmup_fraction: float = 0.3
+    burst_cap: float = 4.0
+
+
+class RuntimeEngine:
+    """Drives one platform through one event list under one controller."""
+
+    def __init__(
+        self,
+        platform: DynamicPlatform,
+        events: Iterable[Event],
+        horizon: int,
+        *,
+        seed: Optional[int] = 0,
+        cache: Optional[OverlayCache] = None,
+        packets_per_slot: float = 2.0,
+        warmup_fraction: float = 0.3,
+        min_epoch_slots: int = 1,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if min_epoch_slots < 1:
+            raise ValueError(
+                f"min_epoch_slots must be >= 1, got {min_epoch_slots}"
+            )
+        self.platform = platform
+        self.queue = EventQueue(events)
+        self.horizon = int(horizon)
+        self.seed = seed
+        self.cache = cache if cache is not None else OverlayCache()
+        self._sim = _EpochSimParams(
+            packets_per_slot=packets_per_slot,
+            warmup_fraction=warmup_fraction,
+        )
+        self.min_epoch_slots = int(min_epoch_slots)
+        self._rng = random.Random(seed)
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Controller-facing API
+    # ------------------------------------------------------------------
+    def build_plan(self) -> Plan:
+        """Optimize the current alive swarm into a fresh :class:`Plan`."""
+        instance, node_ids = self.platform.snapshot()
+        sol = self.cache.solve(instance)
+        return Plan(
+            instance=instance,
+            scheme=sol.scheme,
+            rate=sol.throughput,
+            word=sol.word,
+            node_ids=node_ids,
+            built_at=self.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, controller: "Controller") -> RunResult:
+        epochs: list[EpochReport] = []
+        rebuilds = 0
+        repair_latencies: list[int] = []
+        pending_departures: list[int] = []  # departure times awaiting a rebuild
+
+        initial = self.queue.pop_until(0)
+        for ev in initial:
+            self.platform.apply(ev)
+        plan = controller.start(self)
+        rebuilds += 1  # the initial build counts as one optimization
+
+        fired: tuple[Event, ...] = tuple(initial)
+        while self.now < self.horizon:
+            end = self._epoch_end(controller)
+            report = self._simulate_epoch(
+                plan, self.now, end, fired, rebuilt=(self.now == plan.built_at)
+            )
+            epochs.append(report)
+            self.now = end
+            if self.now >= self.horizon:
+                break
+            popped = self.queue.pop_until(self.now)
+            for ev in popped:
+                self.platform.apply(ev)
+                if isinstance(ev, NodeLeave):
+                    pending_departures.append(ev.time)
+            fired = tuple(popped)
+            new_plan = controller.on_change(self, fired)
+            if new_plan is not None:
+                plan = new_plan
+                rebuilds += 1
+                repair_latencies.extend(
+                    self.now - t for t in pending_departures
+                )
+                pending_departures.clear()
+
+        hits, misses = self.cache.stats()
+        return RunResult(
+            controller=controller.name,
+            horizon=self.horizon,
+            epochs=epochs,
+            rebuilds=rebuilds,
+            repair_latencies=repair_latencies,
+            cache_hits=hits,
+            cache_misses=misses,
+            seed=self.seed,
+        )
+
+    def _epoch_end(self, controller: "Controller") -> int:
+        """Next decision point: event, controller wake-up, or horizon.
+
+        ``min_epoch_slots`` is the control-loop tick: with a tick above 1
+        the engine refuses to cut epochs shorter than the tick, batching
+        event storms (e.g. a flash crowd arriving one peer per slot) into
+        one decision instead of simulating unmeasurable 1-slot epochs.
+        Events still *take effect* at the boundary where they are popped,
+        never before their timestamp.
+        """
+        end = self.horizon
+        pending = self.queue.peek_time()
+        if pending is not None:
+            end = min(end, max(pending, self.now + 1))
+        wake = controller.wake_after(self.now)
+        if wake is not None:
+            end = min(end, max(int(wake), self.now + 1))
+        end = max(end, self.now + self.min_epoch_slots)
+        return min(max(end, self.now + 1), max(self.horizon, self.now + 1))
+
+    # ------------------------------------------------------------------
+    # Epoch measurement
+    # ------------------------------------------------------------------
+    def _simulate_epoch(
+        self,
+        plan: Plan,
+        start: int,
+        end: int,
+        events: tuple[Event, ...],
+        *,
+        rebuilt: bool,
+    ) -> EpochReport:
+        alive = self.platform.alive_ids()
+        optimal_rate = self.cache.optimal_rate(self.platform.snapshot()[0])
+        if not alive:
+            return EpochReport(
+                start=start, end=end, num_alive=0,
+                planned_rate=plan.rate, optimal_rate=optimal_rate,
+                min_goodput=plan.rate, mean_goodput=plan.rate,
+                starved=0, unserved=0, rebuilt=rebuilt, events=events,
+            )
+
+        goodput_by_id = dict.fromkeys(alive, 0.0)
+        if plan.rate > 0 and plan.size > 1:
+            rate = plan.rate * RATE_BACKOFF
+            ppu = self._sim.packets_per_slot / max(rate, 1e-12)
+            failures = {
+                k: 0
+                for k, node_id in enumerate(plan.node_ids)
+                if k > 0 and not self.platform.is_alive(node_id)
+            }
+            sim_seed = (
+                self._rng.randrange(2**32) if self.seed is not None else None
+            )
+            result = simulate_packet_broadcast(
+                plan.instance,
+                plan.scheme,
+                rate,
+                slots=end - start,
+                packets_per_unit=ppu,
+                burst_cap=self._sim.burst_cap,
+                warmup_fraction=self._sim.warmup_fraction,
+                seed=sim_seed,
+                failures=failures,
+            )
+            for k, node_id in enumerate(plan.node_ids):
+                if k > 0 and node_id in goodput_by_id:
+                    goodput_by_id[node_id] = result.goodput[k]
+
+        values = list(goodput_by_id.values())
+        planned_members = set(plan.node_ids)
+        return EpochReport(
+            start=start,
+            end=end,
+            num_alive=len(alive),
+            planned_rate=plan.rate,
+            optimal_rate=optimal_rate,
+            min_goodput=min(values),
+            mean_goodput=sum(values) / len(values),
+            starved=sum(1 for v in values if v < 0.5 * plan.rate),
+            unserved=sum(1 for i in alive if i not in planned_members),
+            rebuilt=rebuilt,
+            events=events,
+        )

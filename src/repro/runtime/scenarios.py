@@ -1,0 +1,335 @@
+"""Scenario registry: named, declarative dynamic-platform workloads.
+
+A scenario is a small frozen dataclass: the static base swarm (size /
+open probability / bandwidth distribution, sampled exactly like the
+Figure 19 study) plus a generator of timestamped events.  ``build(seed)``
+materializes it into a :class:`ScenarioRun` — platform, event list,
+horizon — that any controller can be run against, deterministically.
+
+Five workloads ship by default, spanning the dynamics the related work
+cares about:
+
+* ``steady-churn`` — Poisson join/leave, the classic P2P regime;
+* ``flash-crowd`` — a burst of arrivals mid-stream;
+* ``diurnal`` — per-peer bandwidth following a day/night sine;
+* ``rack-failure`` — a correlated block of peers crashing at once;
+* ``live-stream`` — a Mathieu-style live-streaming trace: Poisson
+  arrivals, exponential session lifetimes, a free-rider class with
+  near-zero upload next to well-provisioned contributors.
+
+Users declare their own by subclassing :class:`Scenario` (one method)
+and calling :func:`register_scenario`; specs round-trip through
+:func:`spec_to_dict` / :func:`spec_from_dict` so sweeps can be persisted
+and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Type
+
+import numpy as np
+
+from ..core.instance import NodeKind
+from ..instances.generators import DISTRIBUTIONS, random_instance
+from .events import BandwidthDrift, DynamicPlatform, Event, NodeJoin, NodeLeave
+
+__all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "SteadyChurn",
+    "FlashCrowd",
+    "DiurnalDrift",
+    "RackFailure",
+    "LiveStreamTrace",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "spec_to_dict",
+    "spec_from_dict",
+]
+
+#: Scenario generators never drain the swarm below this many receivers.
+MIN_ALIVE = 2
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """A materialized scenario: everything an engine run needs."""
+
+    name: str
+    platform: DynamicPlatform
+    events: tuple[Event, ...]
+    horizon: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Base spec: a static base swarm and (by default) no events.
+
+    Subclasses override :meth:`events`; the two RNG streams (numpy for
+    bandwidth sampling, stdlib for event timing) are both derived from
+    the single ``build`` seed, so a run is one integer away from exact
+    replay.
+    """
+
+    size: int = 30
+    open_prob: float = 0.5
+    distribution: str = "Unif100"
+    horizon: int = 480
+
+    def events(
+        self,
+        rng: random.Random,
+        np_rng: np.random.Generator,
+        platform: DynamicPlatform,
+    ) -> Iterable[Event]:
+        return ()
+
+    # ------------------------------------------------------------------
+    def build(self, seed: int = 0, *, name: str = "") -> ScenarioRun:
+        """Sample the base swarm and generate the full event list."""
+        np_rng = np.random.default_rng(seed)
+        instance = random_instance(
+            np_rng, self.size, self.open_prob, self.distribution
+        )
+        platform = DynamicPlatform.from_instance(instance)
+        ev_rng = random.Random(f"{seed}:{type(self).__name__}")
+        events = tuple(self.events(ev_rng, np_rng, platform))
+        return ScenarioRun(
+            name=name or type(self).__name__,
+            platform=platform,
+            events=events,
+            horizon=self.horizon,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared generator helpers
+    # ------------------------------------------------------------------
+    def _sample_bw(self, np_rng: np.random.Generator) -> float:
+        return float(DISTRIBUTIONS[self.distribution](np_rng, 1)[0])
+
+    def _sample_kind(self, rng: random.Random) -> str:
+        return (
+            NodeKind.OPEN if rng.random() < self.open_prob else NodeKind.GUARDED
+        )
+
+
+@dataclass(frozen=True)
+class SteadyChurn(Scenario):
+    """Independent Poisson arrival/departure streams (rates per slot)."""
+
+    join_rate: float = 0.02
+    leave_rate: float = 0.02
+
+    def events(self, rng, np_rng, platform):
+        alive = list(platform.alive_ids())
+        next_id = platform.next_id
+        events: list[Event] = []
+        t_join = 1 + rng.expovariate(self.join_rate) if self.join_rate > 0 else math.inf
+        t_leave = 1 + rng.expovariate(self.leave_rate) if self.leave_rate > 0 else math.inf
+        while min(t_join, t_leave) < self.horizon:
+            if t_join <= t_leave:
+                events.append(
+                    NodeJoin(
+                        time=int(t_join),
+                        kind=self._sample_kind(rng),
+                        bandwidth=self._sample_bw(np_rng),
+                        node_id=next_id,
+                    )
+                )
+                alive.append(next_id)
+                next_id += 1
+                t_join += rng.expovariate(self.join_rate)
+            else:
+                if len(alive) > MIN_ALIVE:
+                    victim = alive.pop(rng.randrange(len(alive)))
+                    events.append(NodeLeave(time=int(t_leave), node_id=victim))
+                t_leave += rng.expovariate(self.leave_rate)
+        return events
+
+
+@dataclass(frozen=True)
+class FlashCrowd(Scenario):
+    """``arrivals`` peers pile in around slot ``at`` (uniform in a window)."""
+
+    arrivals: int = 20
+    at: int = 160
+    spread: int = 40
+
+    def events(self, rng, np_rng, platform):
+        next_id = platform.next_id
+        events: list[Event] = []
+        for _ in range(self.arrivals):
+            t = self.at + rng.randrange(max(self.spread, 1))
+            events.append(
+                NodeJoin(
+                    time=min(t, self.horizon - 1),
+                    kind=self._sample_kind(rng),
+                    bandwidth=self._sample_bw(np_rng),
+                    node_id=next_id,
+                )
+            )
+            next_id += 1
+        events.sort(key=lambda e: e.time)
+        return events
+
+
+@dataclass(frozen=True)
+class DiurnalDrift(Scenario):
+    """Every peer's upload follows a sine with a random phase.
+
+    Sampled every ``sample_every`` slots into discrete
+    :class:`BandwidthDrift` events (the bounded multi-port model has no
+    continuous time), floored at 5% of the base bandwidth.
+    """
+
+    amplitude: float = 0.5
+    period: int = 240
+    sample_every: int = 40
+
+    def events(self, rng, np_rng, platform):
+        bases = {
+            i: platform.nodes[i].bandwidth for i in platform.alive_ids()
+        }
+        phases = {i: rng.uniform(0, 2 * math.pi) for i in bases}
+        events: list[Event] = []
+        for t in range(self.sample_every, self.horizon, self.sample_every):
+            for i, base in bases.items():
+                wave = 1.0 + self.amplitude * math.sin(
+                    2 * math.pi * t / self.period + phases[i]
+                )
+                events.append(
+                    BandwidthDrift(
+                        time=t, node_id=i, bandwidth=max(wave, 0.05) * base
+                    )
+                )
+        return events
+
+
+@dataclass(frozen=True)
+class RackFailure(Scenario):
+    """A correlated failure: a contiguous id block departs at slot ``at``.
+
+    Models a rack/AS-level outage — the worst case for a static overlay,
+    since the block takes all of its forwarding capacity down at once.
+    """
+
+    fraction: float = 0.3
+    at: int = 200
+
+    def events(self, rng, np_rng, platform):
+        ids = platform.alive_ids()
+        block = max(1, min(int(len(ids) * self.fraction), len(ids) - MIN_ALIVE))
+        start = rng.randrange(max(len(ids) - block, 1))
+        return [
+            NodeLeave(time=self.at, node_id=i)
+            for i in ids[start:start + block]
+        ]
+
+
+@dataclass(frozen=True)
+class LiveStreamTrace(Scenario):
+    """Mathieu-style live-streaming swarm trace.
+
+    Viewers arrive in a Poisson stream and stay for exponentially
+    distributed sessions; a ``freerider_prob`` fraction are near-zero
+    uploaders (NATed/free-riding viewers, modelled guarded), the rest
+    are contributors whose upload is drawn from ``distribution``.
+    """
+
+    arrival_rate: float = 0.05
+    mean_lifetime: float = 150.0
+    freerider_prob: float = 0.4
+    freerider_bw: float = 0.5
+
+    def events(self, rng, np_rng, platform):
+        next_id = platform.next_id
+        events: list[Event] = []
+        t = 1 + rng.expovariate(self.arrival_rate)
+        while t < self.horizon:
+            if rng.random() < self.freerider_prob:
+                kind, bw = NodeKind.GUARDED, self.freerider_bw
+            else:
+                kind, bw = self._sample_kind(rng), self._sample_bw(np_rng)
+            events.append(
+                NodeJoin(time=int(t), kind=kind, bandwidth=bw, node_id=next_id)
+            )
+            depart = int(t + rng.expovariate(1.0 / self.mean_lifetime)) + 1
+            if depart < self.horizon:
+                events.append(NodeLeave(time=depart, node_id=next_id))
+            next_id += 1
+            t += rng.expovariate(self.arrival_rate)
+        events.sort(key=lambda e: e.time)
+        return events
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+SCENARIOS: Dict[str, Scenario] = {}
+
+#: Spec classes known to the (de)serializer, keyed by class name.
+SPEC_TYPES: Dict[str, Type[Scenario]] = {}
+
+
+def register_scenario(
+    name: str, spec: Scenario, *, overwrite: bool = False
+) -> Scenario:
+    """Publish ``spec`` under ``name`` (CLI / batch lookup key)."""
+    if not overwrite and name in SCENARIOS:
+        raise KeyError(f"scenario {name!r} already registered")
+    if not isinstance(spec, Scenario):
+        raise TypeError(f"spec must be a Scenario, got {type(spec).__name__}")
+    SCENARIOS[name] = spec
+    SPEC_TYPES.setdefault(type(spec).__name__, type(spec))
+    return spec
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def spec_to_dict(spec: Scenario) -> dict:
+    """JSON-friendly form: spec class name plus its field values."""
+    return {
+        "type": type(spec).__name__,
+        "params": dataclasses.asdict(spec),
+    }
+
+
+def spec_from_dict(data: dict) -> Scenario:
+    """Inverse of :func:`spec_to_dict` (for registered spec types)."""
+    try:
+        cls = SPEC_TYPES[data["type"]]
+    except KeyError:
+        known = ", ".join(sorted(SPEC_TYPES))
+        raise KeyError(
+            f"unknown scenario type {data['type']!r} (known: {known})"
+        ) from None
+    return cls(**data["params"])
+
+
+for _name, _spec in [
+    ("steady-churn", SteadyChurn()),
+    ("flash-crowd", FlashCrowd()),
+    ("diurnal", DiurnalDrift()),
+    ("rack-failure", RackFailure()),
+    ("live-stream", LiveStreamTrace()),
+]:
+    register_scenario(_name, _spec)
+del _name, _spec

@@ -116,7 +116,7 @@ def simulate_packet_broadcast(
     packets_per_unit: float = 1.0,
     burst_cap: float = 4.0,
     warmup_fraction: float = 0.5,
-    seed: int = 0,
+    seed: Optional[int] = 0,
     rng: Optional[random.Random] = None,
     failures: Optional[dict[int, int]] = None,
 ) -> PacketSimResult:
@@ -126,6 +126,12 @@ def simulate_packet_broadcast(
     converts bandwidth units to packets per slot (increase it to reduce
     quantization noise at the cost of CPU).  The goodput window is the
     last ``1 - warmup_fraction`` of the run.
+
+    Randomness is reproducible end to end: the default ``seed=0`` pins
+    the run, any other int gives an independent pinned stream, and
+    ``seed=None`` draws entropy from the OS.  Callers composing larger
+    experiments (the runtime engine derives one sub-seed per epoch) can
+    pass a pre-built ``rng`` instead, which takes precedence.
 
     ``failures`` maps node ids to the slot at which the node departs
     (churn injection): from that slot on, all of its incident edges go
