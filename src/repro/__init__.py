@@ -182,7 +182,9 @@ from .runtime import (
 )
 from .simulation import (
     FluidSchedule,
+    PacketSimEngine,
     PacketSimResult,
+    available_backends,
     fluid_schedule,
     simulate_packet_broadcast,
 )
@@ -313,6 +315,8 @@ __all__ = [
     # simulation
     "simulate_packet_broadcast",
     "PacketSimResult",
+    "PacketSimEngine",
+    "available_backends",
     "fluid_schedule",
     "FluidSchedule",
     # estimation

@@ -73,6 +73,8 @@ def churn_experiment(
     distribution: str = "Unif100",
     slots: int = 300,
     seed: Optional[int] = 23,
+    sim_backend: str = "reference",
+    warm_epochs: bool = False,
 ) -> ChurnReport:
     """Fail the busiest relay mid-run and measure collapse + repair.
 
@@ -80,6 +82,11 @@ def churn_experiment(
     departure is the healthy control window, the epoch after it shows the
     collapse, and the recomputed per-epoch ``T*_ac`` of the survivors is
     exactly the rate a static re-optimization would restore.
+
+    ``sim_backend`` selects the transport implementation for the epoch
+    simulations (see :mod:`repro.simulation.backends`); ``warm_epochs``
+    carries packet buffers across the failure boundary, so the collapse
+    epoch measures the mid-stream stall rather than a cold restart.
     """
     rng = np.random.default_rng(seed)
     inst = random_instance(rng, size, open_prob, distribution)
@@ -99,6 +106,8 @@ def churn_experiment(
         seed=seed,
         cache=cache,
         warmup_fraction=0.3,
+        sim_backend=sim_backend,
+        warm_epochs=warm_epochs,
     )
     result = engine.run(StaticController())
     healthy, churned = result.epochs[0], result.epochs[-1]

@@ -10,7 +10,11 @@ module quantifies the *static* part of that claim:
    drawn from ``[1 - eps, 1 + eps]`` (measurement drift, cross traffic);
 3. clip each sender's edge rates proportionally where the perturbed
    capacity fell below its allocated rate (what a TCP QoS limiter does);
-4. measure the worst receiver's max-flow from the source.
+4. measure the worst receiver's max-flow from the source;
+5. optionally (``transport_slots > 0``) validate the worst clipped
+   overlay end to end with the packet layer — clipping breaks the
+   equal-in-rate property, so ``backend="auto"`` exercises the facade's
+   fallback from the sharded to the reference backend.
 
 Expected result, asserted by the tests: the delivered rate degrades
 *gracefully* — at least ``(1 - eps)`` of the planned rate, i.e. the
@@ -25,10 +29,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Optional
+
 from ..algorithms.acyclic_guarded import acyclic_guarded_scheme
 from ..core.scheme import BroadcastScheme
 from ..core.throughput import maxflow_throughput
 from ..instances.generators import random_instance
+from ..simulation import simulate_packet_broadcast
 
 __all__ = ["RobustnessReport", "clip_to_capacities", "perturbation_experiment"]
 
@@ -65,6 +72,9 @@ class RobustnessReport:
     mean_delivered: float  #: mean over trials of the perturbed throughput
     worst_delivered: float
     graceful_floor: float  #: (1 - eps) * planned_rate
+    #: Packet-layer efficiency on the worst clipped overlay (None when
+    #: transport validation was not requested).
+    transport_efficiency: Optional[float] = None
 
     @property
     def worst_fraction(self) -> float:
@@ -81,8 +91,19 @@ def perturbation_experiment(
     open_prob: float = 0.5,
     trials: int = 10,
     seed: int = 29,
+    *,
+    transport_slots: int = 0,
+    sim_backend: str = "auto",
 ) -> list[RobustnessReport]:
-    """Sweep perturbation magnitudes on a fixed overlay."""
+    """Sweep perturbation magnitudes on a fixed overlay.
+
+    With ``transport_slots > 0`` the worst clipped overlay of each
+    epsilon is additionally run through
+    :func:`~repro.simulation.simulate_packet_broadcast` for that many
+    slots at its max-flow rate, and the achieved worst-receiver
+    efficiency is reported — confirming the flow-level "no cliff" claim
+    survives the randomized packet layer.
+    """
     rng = np.random.default_rng(seed)
     inst = random_instance(rng, size, open_prob, "Unif100")
     sol = acyclic_guarded_scheme(inst)
@@ -90,6 +111,7 @@ def perturbation_experiment(
     reports = []
     for eps in epsilons:
         delivered = []
+        worst_scheme = None
         for _ in range(trials):
             factors = rng.uniform(1.0 - eps, 1.0 + eps, inst.num_nodes)
             capacities = [
@@ -97,7 +119,24 @@ def perturbation_experiment(
                 for i in range(inst.num_nodes)
             ]
             clipped = clip_to_capacities(sol.scheme, capacities)
-            delivered.append(maxflow_throughput(clipped))
+            rate = maxflow_throughput(clipped)
+            if not delivered or rate < min(delivered):
+                worst_scheme = clipped
+            delivered.append(rate)
+        transport_efficiency = None
+        if transport_slots > 0 and worst_scheme is not None:
+            worst_rate = min(delivered)
+            if worst_rate > 0:
+                res = simulate_packet_broadcast(
+                    inst,
+                    worst_scheme,
+                    worst_rate * (1.0 - 1e-9),
+                    slots=transport_slots,
+                    packets_per_unit=2.0 / worst_rate,
+                    seed=seed,
+                    backend=sim_backend,
+                )
+                transport_efficiency = res.efficiency()
         reports.append(
             RobustnessReport(
                 eps=eps,
@@ -105,6 +144,7 @@ def perturbation_experiment(
                 mean_delivered=sum(delivered) / len(delivered),
                 worst_delivered=min(delivered),
                 graceful_floor=(1.0 - eps) * planned,
+                transport_efficiency=transport_efficiency,
             )
         )
     return reports

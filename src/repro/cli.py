@@ -95,7 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of seeds per cell in --batch mode "
                               "(starting at --seed)")
     runtime.add_argument("--workers", type=int, default=None,
-                         help="worker processes for --batch")
+                         help="worker processes for --batch; in single-run "
+                              "mode, tree-simulation workers for "
+                              "--sim-backend sharded")
+    runtime.add_argument("--sim-backend", default="reference",
+                         choices=["reference", "vectorized", "sharded",
+                                  "auto"],
+                         help="per-epoch transport implementation: "
+                              "'reference' (historical per-edge loop, any "
+                              "scheme), 'vectorized' (numpy-batched, any "
+                              "scheme), 'sharded' (arborescence-"
+                              "decomposed, acyclic schemes only), or "
+                              "'auto' (sharded when the overlay "
+                              "decomposes, reference otherwise)")
+    runtime.add_argument("--warm-epochs", action="store_true",
+                         help="carry packet buffers across epochs of the "
+                              "same plan instead of restarting the "
+                              "transport cold each epoch (short epochs "
+                              "then measure real transients, not "
+                              "ramp-ups)")
     runtime.add_argument("--list", action="store_true", dest="list_names",
                          help="list registered scenarios and controllers")
     return parser
@@ -163,6 +181,7 @@ def _cmd_ablations() -> int:
         cyclic_gain,
         greedy_vs_exhaustive,
         packing_degree_ablation,
+        simulation_backend_ablation,
         source_sensitivity,
     )
     from .experiments.common import format_table
@@ -213,6 +232,17 @@ def _cmd_ablations() -> int:
             ["eps", "planned", "worst delivered", "(1-eps) floor"],
             [[r.eps, r.planned_rate, r.worst_delivered, r.graceful_floor]
              for r in perturbation_experiment()],
+        )
+    )
+    print()
+    print("Simulation backends (same overlay, same seed, per-edge loop "
+          "vs numpy vs arborescence-sharded):")
+    print(
+        format_table(
+            ["backend", "efficiency", "wall s", "speedup"],
+            [[r.backend, f"{r.efficiency:.3f}", f"{r.wall_seconds:.3f}",
+              f"{r.speedup:.1f}x"]
+             for r in simulation_backend_ablation()],
         )
     )
     print()
@@ -327,6 +357,26 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        not args.batch
+        and args.workers is not None
+        and args.workers > 1
+        and args.sim_backend not in ("sharded", "auto")
+    ):
+        print(
+            f"error: --workers {args.workers} requires --sim-backend "
+            f"sharded (or auto): the {args.sim_backend!r} backend is "
+            f"single-threaded (worker parallelism comes from simulating "
+            f"the overlay's arborescences independently)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.batch:
         seeds = range(args.seed, args.seed + args.seeds)
@@ -336,6 +386,8 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             seeds=seeds,
             controller_kwargs={"periodic": {"period": args.period}},
             engine_kwargs={"min_epoch_slots": args.tick},
+            sim_backend=args.sim_backend,
+            warm_epochs=args.warm_epochs,
         )
         print(
             f"sweep: {args.scenario} x {{{', '.join(controller_names())}}} "
@@ -363,6 +415,9 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         run.horizon,
         seed=args.seed,
         min_epoch_slots=args.tick,
+        sim_backend=args.sim_backend,
+        warm_epochs=args.warm_epochs,
+        sim_workers=args.workers,
     )
     result = engine.run(controller)
     print(

@@ -219,13 +219,25 @@ def scenario_grid(
     *,
     controller_kwargs: Optional[Dict[str, dict]] = None,
     engine_kwargs: Optional[dict] = None,
+    sim_backend: Optional[str] = None,
+    warm_epochs: Optional[bool] = None,
 ) -> list[BatchJob]:
     """The full cross product as a job list (seed-major, stable order).
 
     ``controller_kwargs`` is keyed by controller name; ``engine_kwargs``
     (e.g. ``{"min_epoch_slots": 10}``) applies to every job's engine.
+    ``sim_backend`` / ``warm_epochs`` are shorthands for the engine
+    kwargs of the same name — the per-epoch transport implementation
+    (see :mod:`repro.simulation.backends`) and warm-state carry-over,
+    both of which travel inside the picklable job specs like any other
+    engine knob.
     """
     controller_kwargs = controller_kwargs or {}
+    engine_kwargs = dict(engine_kwargs or {})
+    if sim_backend is not None:
+        engine_kwargs["sim_backend"] = sim_backend
+    if warm_epochs is not None:
+        engine_kwargs["warm_epochs"] = warm_epochs
     return [
         BatchJob.make(
             scenario,

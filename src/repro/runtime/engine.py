@@ -9,12 +9,22 @@ overlay -> packet simulation) into a *control loop* over a
    it on a snapshot of the surviving swarm via the memoized
    :class:`OverlayCache`);
 3. simulate the epoch — the interval until the next event or controller
-   wake-up — with :func:`~repro.simulation.packet_sim.
-   simulate_packet_broadcast`, marking departed overlay members as failed
-   from slot 0 so stale plans starve exactly the peers they would starve
-   in the field;
+   wake-up — through the :mod:`repro.simulation` facade (backend
+   selectable per engine via ``sim_backend``), marking departed overlay
+   members as failed so stale plans starve exactly the peers they would
+   starve in the field;
 4. record an :class:`EpochReport` (goodput, delivered-vs-planned rate,
    distance to the *recomputed* optimum ``T*_ac``, repair bookkeeping).
+
+Epoch transport state comes in two flavors.  Cold (default,
+``warm_epochs=False``): every epoch restarts
+:func:`~repro.simulation.packet_sim.simulate_packet_broadcast` from
+empty buffers with departed members failed from slot 0 — reproducible,
+but short epochs then measure ramp-up artifacts.  Warm
+(``warm_epochs=True``): one resumable
+:class:`~repro.simulation.core.PacketSimEngine` per plan carries
+buffers/credits/RNG across epochs, departures are injected mid-stream at
+the slot they happen, and only rebuilds restart the transport.
 
 Everything is reproducible end to end: one ``seed`` drives the engine's
 per-epoch simulation seeds, and scenario generators receive their own
@@ -30,6 +40,8 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from ..algorithms.acyclic_guarded import AcyclicSolution, acyclic_guarded_scheme
 from ..core.instance import Instance
 from ..core.scheme import BroadcastScheme
+from ..simulation.backends import BACKENDS
+from ..simulation.core import PacketSimEngine, available_backends
 from ..simulation.packet_sim import simulate_packet_broadcast
 from .events import DynamicPlatform, Event, EventQueue, NodeLeave
 
@@ -212,12 +224,39 @@ class RuntimeEngine:
         packets_per_slot: float = 2.0,
         warmup_fraction: float = 0.3,
         min_epoch_slots: int = 1,
+        sim_backend: str = "reference",
+        warm_epochs: bool = False,
+        sim_workers: Optional[int] = None,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         if min_epoch_slots < 1:
             raise ValueError(
                 f"min_epoch_slots must be >= 1, got {min_epoch_slots}"
+            )
+        # Fail fast: a bad backend/workers combination would otherwise
+        # only surface mid-run, at the first simulated epoch (or, via
+        # the batch runner, after a whole sweep has been dispatched).
+        if sim_backend not in available_backends():
+            raise ValueError(
+                f"unknown simulation backend {sim_backend!r} "
+                f"(known: {', '.join(available_backends())})"
+            )
+        if sim_workers is not None and sim_workers < 1:
+            raise ValueError(
+                f"sim_workers must be >= 1, got {sim_workers}"
+            )
+        backend_cls = BACKENDS.get(sim_backend)  # None for "auto"
+        if (
+            sim_workers is not None
+            and sim_workers > 1
+            and backend_cls is not None
+            and not backend_cls.supports_workers
+        ):
+            raise ValueError(
+                f"sim_workers={sim_workers} requires a backend with "
+                f"worker support ('sharded', or 'auto' on decomposable "
+                f"schemes); {sim_backend!r} is single-threaded"
             )
         self.platform = platform
         self.queue = EventQueue(events)
@@ -229,8 +268,15 @@ class RuntimeEngine:
             warmup_fraction=warmup_fraction,
         )
         self.min_epoch_slots = int(min_epoch_slots)
+        self.sim_backend = sim_backend
+        self.warm_epochs = bool(warm_epochs)
+        self.sim_workers = sim_workers
         self._rng = random.Random(seed)
         self.now = 0
+        #: Warm-state carry-over: one live transport run per active plan.
+        self._warm_sim: Optional[PacketSimEngine] = None
+        self._warm_plan: Optional[Plan] = None
+        self._warm_failed: set[int] = set()
 
     # ------------------------------------------------------------------
     # Controller-facing API
@@ -346,28 +392,37 @@ class RuntimeEngine:
         if plan.rate > 0 and plan.size > 1:
             rate = plan.rate * RATE_BACKOFF
             ppu = self._sim.packets_per_slot / max(rate, 1e-12)
-            failures = {
-                k: 0
+            failed = {
+                k
                 for k, node_id in enumerate(plan.node_ids)
                 if k > 0 and not self.platform.is_alive(node_id)
             }
-            sim_seed = (
-                self._rng.randrange(2**32) if self.seed is not None else None
-            )
-            result = simulate_packet_broadcast(
-                plan.instance,
-                plan.scheme,
-                rate,
-                slots=end - start,
-                packets_per_unit=ppu,
-                burst_cap=self._sim.burst_cap,
-                warmup_fraction=self._sim.warmup_fraction,
-                seed=sim_seed,
-                failures=failures,
-            )
+            if self.warm_epochs:
+                goodput = self._warm_epoch_goodput(
+                    plan, rate, ppu, failed, end - start
+                )
+            else:
+                sim_seed = (
+                    self._rng.randrange(2**32)
+                    if self.seed is not None
+                    else None
+                )
+                goodput = simulate_packet_broadcast(
+                    plan.instance,
+                    plan.scheme,
+                    rate,
+                    slots=end - start,
+                    packets_per_unit=ppu,
+                    burst_cap=self._sim.burst_cap,
+                    warmup_fraction=self._sim.warmup_fraction,
+                    seed=sim_seed,
+                    failures={k: 0 for k in failed},
+                    backend=self.sim_backend,
+                    workers=self.sim_workers,
+                ).goodput
             for k, node_id in enumerate(plan.node_ids):
                 if k > 0 and node_id in goodput_by_id:
-                    goodput_by_id[node_id] = result.goodput[k]
+                    goodput_by_id[node_id] = goodput[k]
 
         values = list(goodput_by_id.values())
         planned_members = set(plan.node_ids)
@@ -384,3 +439,53 @@ class RuntimeEngine:
             rebuilt=rebuilt,
             events=events,
         )
+
+    def _warm_epoch_goodput(
+        self,
+        plan: Plan,
+        rate: float,
+        ppu: float,
+        failed: set[int],
+        slots: int,
+    ) -> list[float]:
+        """Advance the plan's *persistent* transport run by one epoch.
+
+        The packet buffers/credits/RNG carry over between epochs of the
+        same plan, so short epochs measure real transients instead of
+        fresh ramp-ups.  A rebuild necessarily starts a new run (new
+        overlay, empty buffers), whose first epoch honors
+        ``warmup_fraction`` exactly like cold mode; every later epoch of
+        the plan is warm and measured over its full span.  Members that
+        departed since the last epoch are failed at the run's *current*
+        slot, mid-stream, which is when the field would see their edges
+        go dark.
+        """
+        sim = self._warm_sim
+        warmup = 0
+        if sim is None or self._warm_plan is not plan:
+            sim_seed = (
+                self._rng.randrange(2**32) if self.seed is not None else None
+            )
+            sim = PacketSimEngine(
+                plan.instance,
+                plan.scheme,
+                rate,
+                packets_per_unit=ppu,
+                burst_cap=self._sim.burst_cap,
+                seed=sim_seed,
+                failures={k: 0 for k in failed},
+                backend=self.sim_backend,
+                workers=self.sim_workers,
+            )
+            self._warm_sim = sim
+            self._warm_plan = plan
+            self._warm_failed = set(failed)
+            warmup = int(slots * self._sim.warmup_fraction)
+        else:
+            for k in failed - self._warm_failed:
+                sim.fail_node(k)
+            self._warm_failed |= failed
+        sim.step(warmup)
+        sim.begin_window()
+        sim.step(slots - warmup)
+        return sim.window_goodput()

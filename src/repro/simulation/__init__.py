@@ -1,11 +1,33 @@
-"""Transport-layer simulators validating constructed overlays."""
+"""Transport-layer simulators validating constructed overlays.
 
+The packet layer is a small subsystem: a resumable engine
+(:class:`PacketSimEngine` — pause/resume, snapshots, failure injection,
+warm state across epochs) over pluggable backends
+(:mod:`repro.simulation.backends` — ``reference``, ``vectorized``,
+``sharded``).  :func:`simulate_packet_broadcast` remains the one-shot
+entry point, and :mod:`repro.simulation.fluid` the deterministic
+fluid-schedule view.
+"""
+
+from .backends import backend_names
+from .core import (
+    PacketSimEngine,
+    PacketSimResult,
+    SimConfig,
+    SimSnapshot,
+    available_backends,
+)
 from .fluid import FluidSchedule, fluid_schedule
-from .packet_sim import PacketSimResult, simulate_packet_broadcast
+from .packet_sim import simulate_packet_broadcast
 
 __all__ = [
     "simulate_packet_broadcast",
     "PacketSimResult",
+    "PacketSimEngine",
+    "SimConfig",
+    "SimSnapshot",
+    "available_backends",
+    "backend_names",
     "fluid_schedule",
     "FluidSchedule",
 ]

@@ -1,0 +1,182 @@
+"""The historical per-edge dict loop, extracted verbatim.
+
+This backend reproduces the monolithic ``simulate_packet_broadcast``
+loop exactly: the same RNG call sequence (one shuffle of the persistent
+edge order per slot, then rejection-sampled useful-packet draws per
+transfer), the same credit/burst arithmetic, the same missing-set
+bookkeeping.  The one deliberate deviation is the rare exact-scan
+fallback of :meth:`_MissingSet.sample_useful`, which now draws from a
+*sorted* pool instead of raw set iteration order — set order depends on
+the set's allocation history, which no snapshot can reproduce, and
+``restore()`` must replay bit for bit.  The historical test suite pins
+behavior through the wrapper, which makes this backend the equivalence
+baseline the vectorized and sharded backends are tested against.
+
+It handles *any* scheme — cyclic ones included — which is why
+``backend="auto"`` falls back to it whenever the arborescence
+decomposition does not apply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from . import SimBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core import SimConfig
+
+__all__ = ["ReferenceBackend"]
+
+
+class _MissingSet:
+    """Packets injected but not yet held by a node.
+
+    Backed by a set plus a lazily-compacted list for O(1) random choice.
+    """
+
+    __slots__ = ("items", "pool")
+
+    def __init__(self) -> None:
+        self.items: set[int] = set()
+        self.pool: list[int] = []
+
+    def add(self, pkt: int) -> None:
+        self.items.add(pkt)
+        self.pool.append(pkt)
+
+    def discard(self, pkt: int) -> None:
+        self.items.discard(pkt)  # pool entry removed lazily
+
+    def _compact(self) -> None:
+        if len(self.pool) > 4 * max(len(self.items), 1):
+            self.pool = [p for p in self.pool if p in self.items]
+
+    def sample_useful(
+        self, holder: Optional[set[int]], rng: random.Random, tries: int = 16
+    ) -> Optional[int]:
+        """A random element also held by ``holder`` (None = holds all)."""
+        if not self.items:
+            return None
+        self._compact()
+        pool = self.pool
+        for _ in range(tries):
+            pkt = pool[rng.randrange(len(pool))]
+            if pkt not in self.items:
+                continue  # stale entry
+            if holder is None or pkt in holder:
+                return pkt
+        # Fallback: exact scan (rare; bounded by the node's lag).  The
+        # scan runs in sorted order — set iteration order depends on the
+        # set's allocation history, which a snapshot/restore round trip
+        # cannot reproduce, and the draw must replay identically.
+        if holder is None:
+            live = sorted(self.items)
+            return live[rng.randrange(len(live))] if live else None
+        useful = sorted(p for p in self.items if p in holder)
+        if not useful:
+            return None
+        return useful[rng.randrange(len(useful))]
+
+
+@register_backend
+class ReferenceBackend(SimBackend):
+    """Per-edge Python loop with random useful-packet transfers."""
+
+    name = "reference"
+    supports_workers = False
+
+    def __init__(self, config: "SimConfig", rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        num = config.num
+        self.edges = config.edge_list()
+        self.credit = [0.0] * len(self.edges)
+        self.have: list[set[int]] = [set() for _ in range(num)]
+        self.missing = [_MissingSet() for _ in range(num)]
+        self.injected = 0.0
+        self.horizon = 0  # packets 0..horizon-1 exist
+        self.arrivals = [0] * num
+        self.order = list(range(len(self.edges)))
+        self.dead: set[int] = set()
+
+    def run(self, start_slot: int, num_slots: int) -> None:
+        # Local bindings: this is the hot loop.
+        rng = self.rng
+        num = self.config.num
+        pkt_rate = self.config.pkt_rate
+        burst_cap = self.config.burst_cap
+        edges, credit = self.edges, self.credit
+        have, missing = self.have, self.missing
+        arrivals, order, dead = self.arrivals, self.order, self.dead
+
+        for _ in range(num_slots):
+            self.injected += pkt_rate
+            new_horizon = int(self.injected)
+            for pkt in range(self.horizon, new_horizon):
+                for v in range(1, num):
+                    missing[v].add(pkt)
+            self.horizon = new_horizon
+            rng.shuffle(order)
+            for e in order:
+                u, v, cap = edges[e]
+                if u in dead or v in dead:
+                    continue
+                credit[e] = min(credit[e] + cap, burst_cap + cap)
+                while credit[e] >= 1.0:
+                    holder = None if u == 0 else have[u]
+                    pkt = missing[v].sample_useful(holder, rng)
+                    if pkt is None:
+                        break
+                    have[v].add(pkt)
+                    missing[v].discard(pkt)
+                    credit[e] -= 1.0
+                    arrivals[v] += 1
+
+    def kill(self, node: int) -> None:
+        self.dead.add(node)
+
+    def delivered(self) -> list[int]:
+        return self.arrivals
+
+    def received(self) -> list[int]:
+        return [len(h) for h in self.have]
+
+    def state(self) -> dict:
+        return {
+            "credit": self.credit,
+            "have": self.have,
+            "missing": [(m.items, m.pool) for m in self.missing],
+            "injected": self.injected,
+            "horizon": self.horizon,
+            "arrivals": self.arrivals,
+            "order": self.order,
+            "dead": self.dead,
+            "rng": self.rng.getstate(),
+        }
+
+    def load(self, payload: dict) -> None:
+        if (
+            len(payload["have"]) != self.config.num
+            or len(payload["credit"]) != len(self.edges)
+        ):
+            raise ValueError(
+                "snapshot does not match this engine's overlay "
+                f"({len(payload['have'])} node(s) / "
+                f"{len(payload['credit'])} edge(s) saved vs "
+                f"{self.config.num} / {len(self.edges)} here)"
+            )
+        self.credit = payload["credit"]
+        self.have = payload["have"]
+        self.missing = []
+        for items, pool in payload["missing"]:
+            m = _MissingSet()
+            m.items, m.pool = items, pool
+            self.missing.append(m)
+        self.injected = payload["injected"]
+        self.horizon = payload["horizon"]
+        self.arrivals = payload["arrivals"]
+        self.order = payload["order"]
+        self.dead = payload["dead"]
+        self.rng.setstate(payload["rng"])

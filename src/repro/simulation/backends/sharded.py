@@ -1,0 +1,272 @@
+"""Arborescence-sharded backend for acyclic equal-in-rate schemes.
+
+Section II-C of the paper: an acyclic scheme whose receivers all ingest
+at the scheme rate ``T`` decomposes into weighted spanning arborescences
+(:func:`repro.flows.arborescence.decompose_broadcast_trees`) — tree
+``k`` carries an independent substream at rate ``w_k`` with
+``sum_k w_k = T``.  This backend simulates each substream separately and
+recombines per-node goodput, which buys two things:
+
+* **determinism + speed** — inside a tree every receiver has exactly one
+  parent, so packets arrive *in order* and the whole transfer step
+  reduces to integer counters: per slot, per tree-depth level, one
+  vectorized ``min(whole credit, parent backlog)`` over all (tree, node)
+  pairs at that depth.  No per-packet sets, no RNG.  At ``n = 1000``
+  this is an order of magnitude faster than the reference loop;
+* **sharding** — trees are independent, so they split into groups that
+  can advance on ``concurrent.futures`` workers (``workers=N``); results
+  are bit-identical regardless of worker count or scheduling.
+
+Node failures dark every tree edge incident to the dead node, so its
+subtrees stall in every substream — the same collateral-damage model the
+reference implements.  Cyclic or unequal-in-rate schemes raise
+:class:`~repro.core.exceptions.DecompositionError`; ``backend="auto"``
+falls back to the reference backend for those.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...flows.arborescence import BroadcastTree, decompose_broadcast_trees
+from . import SimBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core import SimConfig
+
+__all__ = ["ShardedBackend"]
+
+#: Value-keyed memo of recent decompositions.  The runtime engine's
+#: cold mode builds a fresh backend on an unchanged scheme every epoch
+#: of a plan; hashing the edge list costs O(E log E) versus the greedy
+#: extraction's many passes, and keying by value (not identity) stays
+#: correct if a caller mutates a scheme between runs.  The lock keeps
+#: eviction safe under ``run_batch(mode="thread")``, which constructs
+#: backends concurrently.
+_DECOMPOSITION_MEMO: dict = {}  # edge-list key -> trees
+_MEMO_SIZE = 8
+_MEMO_LOCK = threading.Lock()
+
+
+def _decompose_cached(scheme):
+    key = (scheme.num_nodes, tuple(sorted(scheme.edges())))
+    with _MEMO_LOCK:
+        trees = _DECOMPOSITION_MEMO.get(key)
+    if trees is None:
+        trees = decompose_broadcast_trees(scheme)
+        with _MEMO_LOCK:
+            if len(_DECOMPOSITION_MEMO) >= _MEMO_SIZE:
+                _DECOMPOSITION_MEMO.pop(
+                    next(iter(_DECOMPOSITION_MEMO)), None
+                )
+            _DECOMPOSITION_MEMO[key] = trees
+    return trees
+
+
+class _TreeShard:
+    """A group of arborescences advanced together with numpy counters.
+
+    State per tree ``k``: the source's injected substream (a float
+    accumulator whose floor is the substream horizon) and, per receiver
+    ``v``, the count of substream packets received plus the credit of
+    the unique in-edge ``(parent_k(v), v)``.  Packets arrive in order,
+    so counts are the entire transport state.
+    """
+
+    def __init__(
+        self,
+        trees: list[BroadcastTree],
+        num: int,
+        rate_fraction: float,
+        packets_per_unit: float,
+        burst_cap: float,
+    ) -> None:
+        K = len(trees)
+        self.num = num
+        self.K = K
+        weights = np.array([t.weight for t in trees], dtype=float)
+        self.parents = np.array(
+            [t.parent for t in trees], dtype=np.int64
+        ).reshape(K, num)
+        #: Substream injection rate (packets/slot): the tree's share of
+        #: the requested stream rate.
+        self.inj = weights * rate_fraction * packets_per_unit
+        #: Per-edge credit gained per slot: the tree's *capacity* share.
+        cap = np.repeat(weights * packets_per_unit, num - 1)
+        self.cap = cap  # flat over (tree, receiver) pairs
+        self.burst_cap = burst_cap
+        self.injected = np.zeros(K)
+        self.recv = np.zeros(K * num, dtype=np.int64)  # flat (tree, node)
+        self.credit = np.zeros(K * (num - 1))
+        self.alive = np.ones(K * (num - 1), dtype=bool)
+        self._src_idx = np.arange(K) * num
+        self._levels = self._build_levels()
+
+    def _build_levels(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Group tree edges by receiver depth (parents before children)."""
+        K, num, parents = self.K, self.num, self.parents
+        depth = np.full((K, num), -1, dtype=np.int64)
+        depth[:, 0] = 0
+        parents_c = np.maximum(parents, 0)
+        levels = []
+        d = 0
+        while (depth < 0).any():
+            d += 1
+            parent_depth = np.take_along_axis(depth, parents_c, axis=1)
+            newly = (depth < 0) & (parents >= 0) & (parent_depth == d - 1)
+            if not newly.any():
+                raise ValueError(
+                    "arborescence contains a node unreachable from the source"
+                )
+            depth[newly] = d
+            k_idx, v_idx = np.nonzero(newly)
+            levels.append(
+                (
+                    k_idx * num + v_idx,  # flat child index into recv
+                    k_idx * num + parents[k_idx, v_idx],  # flat parent index
+                    k_idx * (num - 1) + (v_idx - 1),  # flat edge index
+                )
+            )
+        return levels
+
+    def run(self, num_slots: int) -> None:
+        recv, credit, alive = self.recv, self.credit, self.alive
+        cap, burst = self.cap, self.burst_cap
+        for _ in range(num_slots):
+            self.injected += self.inj
+            recv[self._src_idx] = self.injected.astype(np.int64)
+            # Within a slot, levels run parents-first, so a packet can
+            # traverse the whole tree in one slot if credit allows (the
+            # reference's random edge order achieves the same pipeline
+            # rate in expectation).
+            for child, parent, edge in self._levels:
+                live = alive[edge]
+                gained = np.minimum(credit[edge] + cap[edge], burst + cap[edge])
+                moved = np.minimum(
+                    gained.astype(np.int64),
+                    np.maximum(recv[parent] - recv[child], 0),
+                )
+                moved = np.where(live, moved, 0)
+                recv[child] += moved
+                credit[edge] = np.where(live, gained - moved, credit[edge])
+
+    def kill(self, node: int) -> None:
+        num = self.num
+        # In-edges of the dead node...
+        dark = np.zeros((self.K, num - 1), dtype=bool)
+        dark[:, node - 1] = True
+        # ... and every edge it parents, in every tree.
+        dark |= self.parents[:, 1:] == node
+        self.alive &= ~dark.ravel()
+
+    def delivered(self) -> np.ndarray:
+        """Per-node arrival counts, substreams recombined (source = 0)."""
+        counts = self.recv.reshape(self.K, self.num).sum(axis=0)
+        counts[0] = 0
+        return counts
+
+    def state(self) -> dict:
+        # Live references: the engine owns the (single) deep copy.
+        return {
+            "injected": self.injected,
+            "recv": self.recv,
+            "credit": self.credit,
+            "alive": self.alive,
+        }
+
+    def load(self, payload: dict) -> None:
+        self.injected = payload["injected"]
+        self.recv = payload["recv"]
+        self.credit = payload["credit"]
+        self.alive = payload["alive"]
+
+
+@register_backend
+class ShardedBackend(SimBackend):
+    """Weighted-tree decomposition simulated shard by shard."""
+
+    name = "sharded"
+    supports_workers = True
+
+    def __init__(self, config: "SimConfig", rng: random.Random) -> None:
+        self.config = config
+        scheme = config.scheme
+        num = config.num
+        # Raises DecompositionError for cyclic / unequal-in-rate schemes.
+        trees = _decompose_cached(scheme)
+        in_rates = scheme.in_rates()
+        scheme_rate = in_rates[1] if num > 1 else 0.0
+        fraction = config.rate / scheme_rate if scheme_rate > 0 else 0.0
+        workers = config.workers or 1
+        groups = min(workers, len(trees)) or 1
+        self.shards = [
+            _TreeShard(
+                trees[g::groups],
+                num,
+                fraction,
+                config.packets_per_unit,
+                config.burst_cap,
+            )
+            for g in range(groups)
+            if trees[g::groups]
+        ]
+        self.workers = workers
+        self.dead: set[int] = set()
+
+    def run(self, start_slot: int, num_slots: int) -> None:
+        if self.workers > 1 and len(self.shards) > 1:
+            # A scoped pool per run(): spawn cost is negligible next to
+            # a chunk of slots, and nothing leaks across engine
+            # lifetimes (rebuild-heavy sweeps create many backends).
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="packet-sim"
+            ) as pool:
+                # Shards are independent: completion order never matters.
+                list(pool.map(lambda s: s.run(num_slots), self.shards))
+        else:
+            for shard in self.shards:
+                shard.run(num_slots)
+
+    def kill(self, node: int) -> None:
+        self.dead.add(node)
+        for shard in self.shards:
+            shard.kill(node)
+
+    def delivered(self) -> list[int]:
+        total = np.zeros(self.config.num, dtype=np.int64)
+        for shard in self.shards:
+            total += shard.delivered()
+        return total.tolist()
+
+    def received(self) -> list[int]:
+        # Substreams are disjoint slices of the stream, so distinct
+        # packets held == packets arrived.
+        return self.delivered()
+
+    def state(self) -> dict:
+        return {
+            "shards": [s.state() for s in self.shards],
+            "dead": set(self.dead),
+        }
+
+    def load(self, payload: dict) -> None:
+        shard_states = payload["shards"]
+        if len(shard_states) != len(self.shards) or any(
+            shard.recv.shape != state["recv"].shape
+            for shard, state in zip(self.shards, shard_states)
+        ):
+            raise ValueError(
+                "snapshot shard layout does not match this engine "
+                f"({len(shard_states)} shard(s) saved vs "
+                f"{len(self.shards)} here): sharded snapshots only "
+                "restore into an engine built with the same scheme and "
+                "workers setting"
+            )
+        for shard, state in zip(self.shards, shard_states):
+            shard.load(state)
+        self.dead = set(payload["dead"])

@@ -1,0 +1,159 @@
+"""Numpy-accelerated general-scheme backend.
+
+Same transport model as the reference backend — per-edge credit with a
+bounded burst, random *useful* packet transfers — but the dense parts of
+the inner loop are batched:
+
+* credit accumulation is one vectorized ``minimum`` over all live edges
+  per slot, and only edges holding at least one whole packet of credit
+  are visited at all (the reference loop touches every edge every slot);
+* a visited edge transfers its whole credit's worth of packets in one
+  batch: one set intersection (``missing[v] & have[u]``, bounded by the
+  receiver's pipeline lag) plus one ``Generator.choice`` draw, instead
+  of per-packet rejection sampling.
+
+The policy is identical — uniformly random useful packets over randomly
+ordered ready edges — so per-node goodput matches the reference within
+slotting noise, but the RNG *stream* differs (numpy ``Generator`` seeded
+from the engine's ``random.Random``), so results are reproducible per
+seed without being bit-identical to the reference.  Works on any scheme,
+cyclic included.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from . import SimBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core import SimConfig
+
+__all__ = ["VectorizedBackend"]
+
+
+@register_backend
+class VectorizedBackend(SimBackend):
+    """Batched credits + batched useful-packet transfers via numpy."""
+
+    name = "vectorized"
+    supports_workers = False
+
+    def __init__(self, config: "SimConfig", rng: random.Random) -> None:
+        self.config = config
+        # Own numpy stream, deterministically derived from the engine RNG.
+        self.np_rng = np.random.default_rng(rng.randrange(2**63))
+        num = config.num
+        edges = config.edge_list()
+        self.src = np.array([u for u, _, _ in edges], dtype=np.int64)
+        self.dst = np.array([v for _, v, _ in edges], dtype=np.int64)
+        self.cap = np.array([c for _, _, c in edges], dtype=float)
+        self.credit = np.zeros(len(edges))
+        self.alive = np.ones(len(edges), dtype=bool)
+        self.have: list[set[int]] = [set() for _ in range(num)]
+        self.missing: list[set[int]] = [set() for _ in range(num)]
+        self.injected = 0.0
+        self.horizon = 0
+        self.arrivals = [0] * num
+        self.dead: set[int] = set()
+
+    def run(self, start_slot: int, num_slots: int) -> None:
+        num = self.config.num
+        pkt_rate = self.config.pkt_rate
+        burst_cap = self.config.burst_cap
+        src, dst = self.src, self.dst
+        have, missing, arrivals = self.have, self.missing, self.arrivals
+        np_rng = self.np_rng
+
+        for _ in range(num_slots):
+            self.injected += pkt_rate
+            new_horizon = int(self.injected)
+            for pkt in range(self.horizon, new_horizon):
+                for v in range(1, num):
+                    missing[v].add(pkt)
+            self.horizon = new_horizon
+
+            # Credit accrues on live edges only (dark edges stay frozen,
+            # exactly like the reference skip).
+            gained = np.minimum(self.credit + self.cap, burst_cap + self.cap)
+            self.credit = np.where(self.alive, gained, self.credit)
+            ready = np.nonzero(self.alive & (self.credit >= 1.0))[0]
+            if ready.size == 0:
+                continue
+            np_rng.shuffle(ready)
+            for e in ready:
+                v = int(dst[e])
+                miss = missing[v]
+                if not miss:
+                    continue
+                u = int(src[e])
+                useful = miss if u == 0 else miss & have[u]
+                if not useful:
+                    continue
+                take = min(int(self.credit[e]), len(useful))
+                if take >= len(useful):
+                    picked = list(useful)
+                else:
+                    # Sorted so the draw replays identically after a
+                    # snapshot/restore (set iteration order does not).
+                    pool = np.fromiter(
+                        useful, dtype=np.int64, count=len(useful)
+                    )
+                    pool.sort()
+                    picked = np_rng.choice(
+                        pool, size=take, replace=False
+                    ).tolist()
+                hv = have[v]
+                for pkt in picked:
+                    pkt = int(pkt)
+                    hv.add(pkt)
+                    miss.discard(pkt)
+                self.credit[e] -= len(picked)
+                arrivals[v] += len(picked)
+
+    def kill(self, node: int) -> None:
+        self.dead.add(node)
+        self.alive &= (self.src != node) & (self.dst != node)
+
+    def delivered(self) -> list[int]:
+        return self.arrivals
+
+    def received(self) -> list[int]:
+        return [len(h) for h in self.have]
+
+    def state(self) -> dict:
+        # Live references: the engine owns the (single) deep copy.
+        return {
+            "credit": self.credit,
+            "alive": self.alive,
+            "have": self.have,
+            "missing": self.missing,
+            "injected": self.injected,
+            "horizon": self.horizon,
+            "arrivals": self.arrivals,
+            "dead": self.dead,
+            "rng": self.np_rng.bit_generator.state,
+        }
+
+    def load(self, payload: dict) -> None:
+        if (
+            len(payload["have"]) != self.config.num
+            or payload["credit"].shape != self.credit.shape
+        ):
+            raise ValueError(
+                "snapshot does not match this engine's overlay "
+                f"({len(payload['have'])} node(s) saved vs "
+                f"{self.config.num} here)"
+            )
+        self.credit = payload["credit"]
+        self.alive = payload["alive"]
+        self.have = payload["have"]
+        self.missing = payload["missing"]
+        self.injected = payload["injected"]
+        self.horizon = payload["horizon"]
+        self.arrivals = payload["arrivals"]
+        self.dead = payload["dead"]
+        self.np_rng.bit_generator.state = payload["rng"]

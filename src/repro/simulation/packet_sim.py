@@ -4,107 +4,36 @@ The paper's practical story (Section II-C): the optimization layer (this
 library) builds an overlay with per-edge rates and no node contention;
 the *transport* layer then runs Massoulié et al.'s randomized
 decentralized broadcast [4], which provably achieves the overlay's
-min-max-flow rate.  This module implements that transport layer as a
-slotted simulation so constructed overlays can be validated end to end:
+min-max-flow rate.  This module keeps the historical one-shot entry
+point for that transport layer; the stateful machinery behind it lives
+in :mod:`repro.simulation.core` (resumable engine) and
+:mod:`repro.simulation.backends` (reference / vectorized / sharded
+implementations).
 
-* the source injects stream packets at the target rate;
-* every edge ``(u, v)`` accumulates credit ``c_uv`` per slot (bounded
-  burst, modelling the TCP QoS limiters of [16]-[18]) and, whenever a
-  whole packet of credit is available, transfers a *random useful*
-  packet — one that ``u`` holds and ``v`` does not (the "random useful
-  packet" policy of [4]);
-* edges are visited in a fresh random order every slot, so no edge is
-  systematically favoured.
-
-Implementation note: each node tracks its *missing* packet set (packets
-already injected but not yet received).  In steady state that set is
-bounded by the node's pipeline lag, so picking a random useful packet is
-O(lag) worst case and O(1) typical — the simulation scales to long runs,
-unlike a naive scan of the whole stream history.
-
-The measured per-node goodput over the steady-state window converges to
-the scheme's throughput (up to slotting noise), including on *cyclic*
-schemes where the tree decomposition of :mod:`repro.flows.arborescence`
-does not apply.
+:func:`simulate_packet_broadcast` is a thin wrapper over
+:class:`~repro.simulation.core.PacketSimEngine`: it runs the warm-up,
+opens the measurement window, and condenses the window into a
+:class:`~repro.simulation.core.PacketSimResult`.  With the default
+``backend="reference"`` it executes the historical monolithic loop —
+same RNG stream, same transfer policy (see
+:mod:`~repro.simulation.backends.reference` for the one snapshot-related
+caveat) — which is how the existing test suite pins behavior.  The
+measured per-node goodput over the steady-state window
+converges to the scheme's throughput (up to slotting noise), including
+on *cyclic* schemes where the tree decomposition of
+:mod:`repro.flows.arborescence` does not apply.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.instance import Instance
 from ..core.scheme import BroadcastScheme
+from .core import PacketSimEngine, PacketSimResult
 
 __all__ = ["PacketSimResult", "simulate_packet_broadcast"]
-
-
-class _MissingSet:
-    """Packets injected but not yet held by a node.
-
-    Backed by a set plus a lazily-compacted list for O(1) random choice.
-    """
-
-    __slots__ = ("items", "pool")
-
-    def __init__(self) -> None:
-        self.items: set[int] = set()
-        self.pool: list[int] = []
-
-    def add(self, pkt: int) -> None:
-        self.items.add(pkt)
-        self.pool.append(pkt)
-
-    def discard(self, pkt: int) -> None:
-        self.items.discard(pkt)  # pool entry removed lazily
-
-    def _compact(self) -> None:
-        if len(self.pool) > 4 * max(len(self.items), 1):
-            self.pool = [p for p in self.pool if p in self.items]
-
-    def sample_useful(
-        self, holder: Optional[set[int]], rng: random.Random, tries: int = 16
-    ) -> Optional[int]:
-        """A random element also held by ``holder`` (None = holds all)."""
-        if not self.items:
-            return None
-        self._compact()
-        pool = self.pool
-        for _ in range(tries):
-            pkt = pool[rng.randrange(len(pool))]
-            if pkt not in self.items:
-                continue  # stale entry
-            if holder is None or pkt in holder:
-                return pkt
-        # Fallback: exact scan (rare; bounded by the node's lag).
-        if holder is None:
-            live = [p for p in self.items]
-            return live[rng.randrange(len(live))] if live else None
-        useful = [p for p in self.items if p in holder]
-        if not useful:
-            return None
-        return useful[rng.randrange(len(useful))]
-
-
-@dataclass
-class PacketSimResult:
-    """Outcome of a packet simulation run."""
-
-    slots: int
-    rate: float  #: source injection rate (bandwidth units)
-    received: list[int]  #: packets held per node at the end
-    goodput: list[float]  #: per-node rate (bandwidth units) in the window
-    window: tuple[int, int]  #: (start, end) slots of the measurement window
-    min_goodput: float = field(init=False)
-
-    def __post_init__(self) -> None:
-        receivers = self.goodput[1:]
-        self.min_goodput = min(receivers) if receivers else float("inf")
-
-    def efficiency(self) -> float:
-        """Worst receiver goodput as a fraction of the injection rate."""
-        return self.min_goodput / self.rate if self.rate > 0 else 1.0
 
 
 def simulate_packet_broadcast(
@@ -119,6 +48,8 @@ def simulate_packet_broadcast(
     seed: Optional[int] = 0,
     rng: Optional[random.Random] = None,
     failures: Optional[dict[int, int]] = None,
+    backend: str = "reference",
+    workers: Optional[int] = None,
 ) -> PacketSimResult:
     """Run the randomized useful-packet broadcast on an overlay.
 
@@ -139,70 +70,28 @@ def simulate_packet_broadcast(
     exposes both the departed node's stall and the collateral damage on
     downstream nodes — the paper's conclusion ("probably not resilient
     to churn") quantified.
+
+    ``backend`` selects the simulation implementation (``"reference"``,
+    ``"vectorized"``, ``"sharded"``, or ``"auto"``) and ``workers`` the
+    shard parallelism — see :mod:`repro.simulation.backends` for which
+    backend applies where.  For pause/resume, snapshots, or warm-state
+    reuse across epochs, use :class:`~repro.simulation.core.
+    PacketSimEngine` directly.
     """
-    if scheme.num_nodes != instance.num_nodes:
-        raise ValueError("scheme/instance node count mismatch")
-    if rate < 0:
-        raise ValueError("rate must be non-negative")
-    failures = failures or {}
-    for node, when in failures.items():
-        if not 0 < node < scheme.num_nodes:
-            raise ValueError(f"cannot fail node {node} (source or oob)")
-        if when < 0:
-            raise ValueError("failure slots must be >= 0")
-    rng = rng if rng is not None else random.Random(seed)
-    num = scheme.num_nodes
-    pkt_rate = rate * packets_per_unit  # packets injected per slot
-
-    edges = [(i, j, c * packets_per_unit) for i, j, c in scheme.edges()]
-    credit = [0.0] * len(edges)
-    have: list[set[int]] = [set() for _ in range(num)]
-    missing = [_MissingSet() for _ in range(num)]
-
-    injected = 0.0
-    horizon = 0  # packets 0..horizon-1 exist
-    warmup = int(slots * warmup_fraction)
-    window_counts = [0] * num
-    order = list(range(len(edges)))
-    dead: set[int] = set()
-
-    for slot in range(slots):
-        for node, when in failures.items():
-            if when == slot:
-                dead.add(node)
-        injected += pkt_rate
-        new_horizon = int(injected)
-        for pkt in range(horizon, new_horizon):
-            for v in range(1, num):
-                missing[v].add(pkt)
-        horizon = new_horizon
-        rng.shuffle(order)
-        for e in order:
-            u, v, cap = edges[e]
-            if u in dead or v in dead:
-                continue
-            credit[e] = min(credit[e] + cap, burst_cap + cap)
-            while credit[e] >= 1.0:
-                holder = None if u == 0 else have[u]
-                pkt = missing[v].sample_useful(holder, rng)
-                if pkt is None:
-                    break
-                have[v].add(pkt)
-                missing[v].discard(pkt)
-                credit[e] -= 1.0
-                if slot >= warmup:
-                    window_counts[v] += 1
-
-    window_slots = max(slots - warmup, 1)
-    goodput = [
-        window_counts[v] / window_slots / packets_per_unit
-        for v in range(num)
-    ]
-    goodput[0] = float("inf")
-    return PacketSimResult(
-        slots=slots,
-        rate=rate,
-        received=[len(h) for h in have],
-        goodput=goodput,
-        window=(warmup, slots),
+    engine = PacketSimEngine(
+        instance,
+        scheme,
+        rate,
+        packets_per_unit=packets_per_unit,
+        burst_cap=burst_cap,
+        seed=seed,
+        rng=rng,
+        failures=failures,
+        backend=backend,
+        workers=workers,
     )
+    warmup = int(slots * warmup_fraction)
+    engine.step(warmup)
+    engine.begin_window()
+    engine.step(slots - warmup)
+    return engine.result()

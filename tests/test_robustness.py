@@ -61,6 +61,22 @@ class TestPerturbation:
             assert rep.mean_delivered >= rep.worst_delivered - 1e-12
             assert 0.5 < rep.worst_fraction <= 1.0 + 1e-9
 
+    def test_transport_off_by_default(self, reports):
+        assert all(r.transport_efficiency is None for r in reports)
+
+    def test_transport_validation_confirms_no_cliff(self):
+        """The flow-level claim survives the randomized packet layer.
+
+        Clipping breaks the equal-in-rate property, so this also
+        exercises the facade's auto fallback from sharded to reference.
+        """
+        reports = perturbation_experiment(
+            epsilons=(0.1,), size=15, trials=4, seed=29,
+            transport_slots=200, sim_backend="auto",
+        )
+        assert reports[0].transport_efficiency is not None
+        assert reports[0].transport_efficiency > 0.8
+
 
 class TestFigure7Exports:
     @pytest.fixture(scope="class")

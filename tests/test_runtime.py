@@ -321,6 +321,84 @@ class TestBatchRunner:
             )
 
 
+class TestWarmEpochs:
+    """Warm-state epochs: buffers carry across epochs of the same plan."""
+
+    #: Join-heavy steady churn: epochs are short, no departures, so any
+    #: starvation of a *planned* member is a ramp-up artifact.
+    SPEC = SteadyChurn(size=20, horizon=240, join_rate=0.12, leave_rate=0.0)
+
+    def _run(self, warm, seed, controller):
+        run = self.SPEC.build(seed, name="steady-churn-joins")
+        engine = RuntimeEngine(
+            run.platform, run.events, run.horizon,
+            seed=seed, warm_epochs=warm,
+        )
+        return engine.run(controller)
+
+    @staticmethod
+    def _ramp_starved(result):
+        """Epochs where a planned, alive member starved (unplanned
+        joiners are unserved in both modes, so ``starved > unserved``
+        isolates the ramp-up artifact)."""
+        return sum(1 for e in result.epochs if e.starved > e.unserved)
+
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_warm_has_strictly_fewer_ramp_starved_epochs(self, seed):
+        cold = self._run(False, seed, PeriodicController(period=60))
+        warm = self._run(True, seed, PeriodicController(period=60))
+        assert self._ramp_starved(warm) < self._ramp_starved(cold)
+
+    def test_warm_run_is_seed_deterministic(self):
+        a = self._run(True, 3, StaticController())
+        b = self._run(True, 3, StaticController())
+        assert a.epochs == b.epochs
+
+    def test_cold_default_unchanged_by_the_new_knobs(self, fig1):
+        """Default engine args must reproduce the pre-refactor numbers."""
+        explicit = RuntimeEngine(
+            DynamicPlatform.from_instance(fig1), [], 120, seed=9,
+            sim_backend="reference", warm_epochs=False,
+        ).run(StaticController())
+        default = RuntimeEngine(
+            DynamicPlatform.from_instance(fig1), [], 120, seed=9
+        ).run(StaticController())
+        assert explicit.epochs == default.epochs
+
+    @pytest.mark.parametrize("backend", ["vectorized", "sharded", "auto"])
+    def test_alternate_backends_drive_the_engine(self, fig1, backend):
+        failed = _busiest_relay(fig1)
+        engine = RuntimeEngine(
+            DynamicPlatform.from_instance(fig1),
+            [NodeLeave(time=300, node_id=failed)],
+            600,
+            seed=5,
+            sim_backend=backend,
+        )
+        result = engine.run(ReactiveController())
+        after = result.epochs[-1]
+        assert after.min_goodput >= 0.85 * after.optimal_rate
+
+    def test_bad_sim_backend_combinations_fail_at_construction(self, fig1):
+        platform = DynamicPlatform.from_instance(fig1)
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            RuntimeEngine(platform, [], 100, sim_backend="typo")
+        with pytest.raises(ValueError, match="single-threaded"):
+            RuntimeEngine(platform, [], 100, sim_workers=2)
+        with pytest.raises(ValueError, match="sim_workers must be >= 1"):
+            RuntimeEngine(platform, [], 100, sim_workers=0)
+        RuntimeEngine(platform, [], 100, sim_backend="auto", sim_workers=2)
+
+    def test_warm_epochs_travel_through_batch_jobs(self):
+        jobs = scenario_grid(
+            [self.SPEC], ["periodic"], seeds=(0,),
+            controller_kwargs={"periodic": {"period": 60}},
+            sim_backend="auto", warm_epochs=True,
+        )
+        summary = run_batch(jobs, mode="serial")[0]
+        assert summary.num_epochs > 1  # the warm engine kwargs ran end to end
+
+
 class TestRuntimeCli:
     def test_list(self, capsys):
         assert main(["runtime", "--list"]) == 0
@@ -344,3 +422,31 @@ class TestRuntimeCli:
     def test_unknown_controller_fails_cleanly(self, capsys):
         assert main(["runtime", "--controller", "oracle"]) == 2
         assert "unknown controller" in capsys.readouterr().err
+
+    def test_sim_backend_and_warm_epoch_flags_run(self, capsys):
+        rc = main(
+            ["runtime", "--scenario", "rack-failure", "--seed", "2",
+             "--sim-backend", "auto", "--warm-epochs"]
+        )
+        assert rc == 0
+        assert "rebuilds=" in capsys.readouterr().out
+
+    def test_workers_rejected_for_serial_sim_backends(self, capsys):
+        rc = main(["runtime", "--scenario", "rack-failure", "--workers", "4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--sim-backend sharded" in err and "single-threaded" in err
+
+    def test_nonpositive_workers_rejected(self, capsys):
+        rc = main(["runtime", "--scenario", "rack-failure", "--workers", "0"])
+        assert rc == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["sharded", "auto"])
+    def test_workers_accepted_for_parallel_backends(self, capsys, backend):
+        rc = main(
+            ["runtime", "--scenario", "rack-failure", "--seed", "2",
+             "--sim-backend", backend, "--workers", "2"]
+        )
+        assert rc == 0
+        assert "rebuilds=" in capsys.readouterr().out

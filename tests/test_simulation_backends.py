@@ -1,0 +1,295 @@
+"""Tests for the simulation subsystem: engine, backends, warm state.
+
+Covers the backend-equivalence acceptance criteria (sharded and
+vectorized goodput match the reference within slotting tolerance on
+acyclic schemes, same seed), snapshot/restore determinism
+(``step(a); step(b)`` ≡ ``step(a + b)``), the failure schedule, worker
+sharding, and the ``auto`` fallback on cyclic schemes.
+"""
+
+import pytest
+
+from repro import (
+    BroadcastScheme,
+    Instance,
+    PacketSimEngine,
+    acyclic_guarded_scheme,
+    available_backends,
+    cyclic_open_scheme,
+    figure1_instance,
+    random_instance,
+    simulate_packet_broadcast,
+)
+from repro.core.exceptions import DecompositionError
+
+BACKENDS = ("reference", "vectorized", "sharded")
+
+
+def _fig1():
+    inst = figure1_instance()
+    return inst, acyclic_guarded_scheme(inst, 4.0).scheme, 4.0
+
+
+def _chain():
+    inst = Instance.open_only(1.0, (1.0, 1.0, 0.0))
+    scheme = BroadcastScheme.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+    )
+    return inst, scheme, 1.0
+
+
+def _random_acyclic(size=40, seed=11):
+    import numpy as np
+
+    inst = random_instance(np.random.default_rng(seed), size, 0.5, "Unif100")
+    sol = acyclic_guarded_scheme(inst)
+    return inst, sol.scheme, sol.throughput * (1 - 1e-9)
+
+
+ACYCLIC_FIXTURES = {
+    "figure1": _fig1,
+    "chain": _chain,
+    "random40": _random_acyclic,
+}
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("fixture", sorted(ACYCLIC_FIXTURES))
+    @pytest.mark.parametrize("backend", ("vectorized", "sharded"))
+    def test_per_node_goodput_matches_reference(self, fixture, backend):
+        inst, scheme, rate = ACYCLIC_FIXTURES[fixture]()
+        kwargs = dict(slots=400, seed=0, packets_per_unit=2.0 / max(rate, 1))
+        ref = simulate_packet_broadcast(inst, scheme, rate, **kwargs)
+        new = simulate_packet_broadcast(
+            inst, scheme, rate, backend=backend, **kwargs
+        )
+        for v in range(1, scheme.num_nodes):
+            assert new.goodput[v] == pytest.approx(
+                ref.goodput[v], rel=0.15, abs=0.15 * rate
+            ), f"node {v} diverges on {fixture}/{backend}"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_backends_deliver_the_planned_rate(self, backend):
+        inst, scheme, rate = _fig1()
+        res = simulate_packet_broadcast(
+            inst, scheme, rate, slots=400, seed=0,
+            packets_per_unit=2.0, backend=backend,
+        )
+        assert res.efficiency() > 0.85
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_deterministic_given_seed(self, backend):
+        inst, scheme, rate = _fig1()
+        a = simulate_packet_broadcast(
+            inst, scheme, rate, slots=120, seed=3, backend=backend
+        )
+        b = simulate_packet_broadcast(
+            inst, scheme, rate, slots=120, seed=3, backend=backend
+        )
+        assert a.received == b.received
+        assert a.goodput == b.goodput
+
+    def test_vectorized_handles_cyclic_schemes(self):
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        res = simulate_packet_broadcast(
+            inst, scheme, 5.0, slots=400, seed=0,
+            packets_per_unit=2.0, backend="vectorized",
+        )
+        assert res.efficiency() > 0.85
+
+    def test_sharded_rejects_cyclic_schemes(self):
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        with pytest.raises(DecompositionError):
+            PacketSimEngine(inst, scheme, 5.0, backend="sharded")
+
+    def test_auto_falls_back_to_reference_on_cyclic(self):
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        sim = PacketSimEngine(inst, scheme, 5.0, backend="auto")
+        assert sim.backend_name == "reference"
+
+    def test_auto_fallback_drops_the_worker_request(self):
+        """auto + workers must not crash when the fallback is serial."""
+        inst = Instance.open_only(5.0, (5.0, 4.0, 4.0, 4.0, 3.0))
+        scheme = cyclic_open_scheme(inst, 5.0)
+        sim = PacketSimEngine(inst, scheme, 5.0, backend="auto", workers=4)
+        assert sim.backend_name == "reference"
+        assert sim.step(50).delivered()[1] > 0
+
+    def test_auto_picks_sharded_on_acyclic(self):
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(inst, scheme, rate, backend="auto")
+        assert sim.backend_name == "sharded"
+
+    def test_unknown_backend_rejected(self):
+        inst, scheme, rate = _fig1()
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            PacketSimEngine(inst, scheme, rate, backend="quantum")
+
+    def test_available_backends_lists_auto(self):
+        names = available_backends()
+        assert set(BACKENDS) <= set(names)
+        assert "auto" in names
+
+
+class TestEngineStepping:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_step_is_additive(self, backend):
+        inst, scheme, rate = _fig1()
+        kwargs = dict(packets_per_unit=2.0, seed=7, backend=backend)
+        split = PacketSimEngine(inst, scheme, rate, **kwargs)
+        split.step(37)
+        split.step(63)
+        whole = PacketSimEngine(inst, scheme, rate, **kwargs)
+        whole.step(100)
+        assert split.received() == whole.received()
+        assert split.delivered() == whole.delivered()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_restore_replays_identically(self, backend):
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(
+            inst, scheme, rate, packets_per_unit=2.0, seed=5, backend=backend
+        )
+        sim.step(50)
+        snap = sim.snapshot()
+        first = sim.step(40).delivered()
+        sim.restore(snap)
+        second = sim.step(40).delivered()
+        assert first == second
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_survives_divergent_futures(self, backend):
+        """A snapshot can fork what-if continuations (failure injection)."""
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(
+            inst, scheme, rate, packets_per_unit=2.0, seed=5, backend=backend
+        )
+        snap = sim.step(60).snapshot()
+        healthy = sim.step(60).delivered()
+        sim.restore(snap)
+        sim.fail_node(1)
+        failed = sim.step(60).delivered()
+        assert failed != healthy  # the failure actually bit
+        sim.restore(snap)
+        assert sim.step(60).delivered() == healthy  # ... and unwinds
+
+    def test_restore_rejects_foreign_backend_snapshots(self):
+        inst, scheme, rate = _fig1()
+        ref = PacketSimEngine(inst, scheme, rate, backend="reference")
+        shd = PacketSimEngine(inst, scheme, rate, backend="sharded")
+        with pytest.raises(ValueError, match="backend"):
+            shd.restore(ref.snapshot())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_restore_rejects_snapshots_of_other_overlays(self, backend):
+        inst, scheme, rate = _fig1()
+        other_inst, other_scheme, other_rate = _chain()
+        snap = PacketSimEngine(
+            other_inst, other_scheme, other_rate, backend=backend
+        ).step(30).snapshot()
+        sim = PacketSimEngine(inst, scheme, rate, backend=backend)
+        with pytest.raises(ValueError, match="does not match"):
+            sim.restore(snap)
+
+    def test_negative_step_rejected(self):
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(inst, scheme, rate)
+        with pytest.raises(ValueError):
+            sim.step(-1)
+
+    def test_wrapper_equals_manual_engine_composition(self):
+        inst, scheme, rate = _fig1()
+        res = simulate_packet_broadcast(
+            inst, scheme, rate, slots=200, seed=9, packets_per_unit=2.0,
+            warmup_fraction=0.5,
+        )
+        sim = PacketSimEngine(
+            inst, scheme, rate, packets_per_unit=2.0, seed=9
+        )
+        sim.step(100).begin_window()
+        manual = sim.step(100).result()
+        assert manual.received == res.received
+        assert manual.goodput == res.goodput
+        assert manual.window == res.window
+
+
+class TestFailureSchedule:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_upfront_failures_match_fail_node(self, backend):
+        inst, scheme, rate = _fig1()
+        kwargs = dict(packets_per_unit=2.0, seed=2, backend=backend)
+        upfront = PacketSimEngine(
+            inst, scheme, rate, failures={3: 50}, **kwargs
+        )
+        upfront.step(120)
+        scheduled = PacketSimEngine(inst, scheme, rate, **kwargs)
+        scheduled.fail_node(3, 50)
+        scheduled.step(120)
+        assert upfront.delivered() == scheduled.delivered()
+
+    def test_failures_beyond_the_run_never_fire(self):
+        inst, scheme, rate = _fig1()
+        quiet = PacketSimEngine(
+            inst, scheme, rate, seed=1, failures={3: 10_000}
+        )
+        clean = PacketSimEngine(inst, scheme, rate, seed=1)
+        quiet.step(80)
+        clean.step(80)
+        assert quiet.delivered() == clean.delivered()
+
+    def test_cannot_fail_source_or_past(self):
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(inst, scheme, rate)
+        with pytest.raises(ValueError):
+            sim.fail_node(0)
+        sim.step(20)
+        with pytest.raises(ValueError):
+            sim.fail_node(1, 5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failure_starves_downstream(self, backend):
+        inst, scheme, rate = _chain()
+        sim = PacketSimEngine(
+            inst, scheme, rate, seed=0, backend=backend, failures={1: 100}
+        )
+        sim.step(100).begin_window()
+        goodput = sim.step(100).window_goodput()
+        # Downstream of node 1 only its residual pipeline lag drains.
+        assert goodput[3] < 0.1 * rate
+
+
+class TestShardedWorkers:
+    def test_worker_count_never_changes_results(self):
+        inst, scheme, rate = _random_acyclic(size=30, seed=4)
+        runs = [
+            simulate_packet_broadcast(
+                inst, scheme, rate, slots=150, seed=0,
+                backend="sharded", workers=w,
+            )
+            for w in (None, 2, 4)
+        ]
+        assert runs[0].received == runs[1].received == runs[2].received
+        assert runs[0].goodput == runs[1].goodput == runs[2].goodput
+
+    def test_restore_rejects_mismatched_shard_layouts(self):
+        """A snapshot only restores into an identically-sharded engine."""
+        inst, scheme, rate = _random_acyclic(size=30, seed=4)
+        serial = PacketSimEngine(inst, scheme, rate, backend="sharded")
+        snap = serial.step(40).snapshot()
+        parallel = PacketSimEngine(
+            inst, scheme, rate, backend="sharded", workers=4
+        )
+        with pytest.raises(ValueError, match="shard layout"):
+            parallel.restore(snap)
+
+    def test_workers_rejected_for_serial_backends(self):
+        inst, scheme, rate = _fig1()
+        with pytest.raises(ValueError, match="single-threaded"):
+            PacketSimEngine(inst, scheme, rate, backend="reference", workers=2)
+        with pytest.raises(ValueError, match="single-threaded"):
+            simulate_packet_broadcast(
+                inst, scheme, rate, backend="vectorized", workers=2
+            )
