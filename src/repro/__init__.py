@@ -19,7 +19,7 @@ Dynamic platforms (``repro.runtime``)
 The static pipeline above freezes the platform; the runtime subsystem
 replays *evolving* swarms (join/leave/bandwidth-drift events) through an
 event-driven engine and re-runs the optimizer under pluggable controller
-policies (static / periodic / reactive):
+policies (static / periodic / reactive / incremental):
 
 >>> from repro.runtime import get_scenario, scenario_names
 >>> sorted(scenario_names())[:3]
@@ -46,6 +46,8 @@ Subpackages
 * :mod:`repro.simulation` — randomized packet transport + fluid schedules;
 * :mod:`repro.estimation` — Bedibe-style LastMile model instantiation;
 * :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.planning` — the plan lifecycle: LRU-memoized Theorem 4.1
+  solves, the planner seam, incremental overlay repair;
 * :mod:`repro.runtime` — event-driven dynamic-platform engine, adaptive
   re-optimization controllers, scenario registry, parallel batch sweeps.
 """
@@ -154,11 +156,21 @@ from .instances import (
     tight_homogeneous_instance,
     verify_strict_degree_scheme,
 )
+from .planning import (
+    FullRebuildPlanner,
+    IncrementalRepairPlanner,
+    PlanCache,
+    PlanDelta,
+    Planner,
+    make_planner,
+    planner_names,
+)
 from .runtime import (
     BandwidthDrift,
     BatchJob,
     DynamicPlatform,
     EpochReport,
+    IncrementalController,
     NodeJoin,
     NodeLeave,
     OverlayCache,
@@ -300,8 +312,17 @@ __all__ = [
     "StaticController",
     "PeriodicController",
     "ReactiveController",
+    "IncrementalController",
     "make_controller",
     "controller_names",
+    # planning
+    "PlanCache",
+    "PlanDelta",
+    "Planner",
+    "FullRebuildPlanner",
+    "IncrementalRepairPlanner",
+    "make_planner",
+    "planner_names",
     "Scenario",
     "ScenarioRun",
     "register_scenario",

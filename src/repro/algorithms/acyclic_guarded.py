@@ -31,8 +31,8 @@ Three pieces (matching the paper's proof structure):
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from ..core.bounds import cyclic_optimum
 from ..core.exceptions import InfeasibleThroughputError
@@ -43,6 +43,8 @@ from .greedy import greedy_test
 
 __all__ = [
     "optimal_acyclic_throughput",
+    "PackingState",
+    "pack_word",
     "scheme_from_word",
     "acyclic_guarded_scheme",
     "AcyclicSolution",
@@ -55,11 +57,19 @@ SEARCH_MAX_ITER = 200
 
 @dataclass
 class AcyclicSolution:
-    """Bundle returned by :func:`acyclic_guarded_scheme`."""
+    """Bundle returned by :func:`acyclic_guarded_scheme`.
+
+    ``packing`` is the residual :class:`PackingState` after the Lemma 4.6
+    packing — the spare-upload pools incremental repair resumes from.  It
+    is shared by every consumer of a memoized solution; mutate a
+    :meth:`PackingState.clone` (or :meth:`~PackingState.remap`), never the
+    original.
+    """
 
     scheme: BroadcastScheme
     throughput: float
     word: str
+    packing: Optional["PackingState"] = field(default=None, repr=False)
 
 
 def optimal_acyclic_throughput(
@@ -99,35 +109,140 @@ def optimal_acyclic_throughput(
     return lo, word
 
 
-class _Pool:
-    """FIFO pool of (node, remaining upload) pairs for the packing step."""
+#: Edge sink: ``(sender, receiver, rate)`` — where drawn transfers land.
+EdgeSink = Callable[[int, int, float], None]
 
-    __slots__ = ("entries",)
 
-    def __init__(self) -> None:
-        self.entries: deque[list] = deque()
+class PackingState:
+    """Resumable two-pool FIFO packing state (the Lemma 4.6 pools).
 
-    def push(self, node: int, amount: float) -> None:
+    The packing keeps one FIFO pool of ``[node, spare upload]`` entries per
+    node class, both in *introduction order* (the word order).  Exposing
+    the pools after a complete packing is what makes the packing
+    *resumable*: an incremental repair can return the credit a departed
+    peer's feeders were spending on it, then re-feed the orphaned
+    receivers from the pool front — the same earliest-feeder discipline
+    that yields the Theorem 4.1 degree bounds.
+
+    Invariants maintained for repair:
+
+    * entries in each pool are sorted by introduction ``position`` (the
+      initial packing appends in order; :meth:`credit` re-inserts by
+      position), so a draw bounded by ``before`` stops at the first
+      too-late entry — every drawn edge goes from an earlier position to a
+      later one, keeping repaired schemes acyclic;
+    * a guarded receiver draws from the open pool only (firewall), an open
+      receiver drains the guarded pool first (conservativeness, Lemma 4.3).
+    """
+
+    __slots__ = (
+        "open_entries", "guarded_entries", "position", "next_position",
+        "_node_open", "tol",
+    )
+
+    def __init__(self, tol: float = 1e-9) -> None:
+        self.open_entries: deque[list] = deque()
+        self.guarded_entries: deque[list] = deque()
+        self.position: dict[int, int] = {}  #: node -> introduction position
+        self.next_position = 0
+        self._node_open: dict[int, bool] = {}
+        self.tol = tol
+
+    # ------------------------------------------------------------------
+    # Introduction / bookkeeping
+    # ------------------------------------------------------------------
+    def push(self, node: int, amount: float, *, open_: bool) -> None:
+        """Introduce ``node`` (next position) with ``amount`` spare upload."""
+        self.position[node] = self.next_position
+        self.next_position += 1
+        self._node_open[node] = open_
         if amount > 0.0:
-            self.entries.append([node, amount])
+            self._pool_of(node).append([node, amount])
 
-    @property
-    def available(self) -> float:
-        return sum(rem for _, rem in self.entries)
+    def is_open_node(self, node: int) -> bool:
+        return self._node_open[node]
 
-    def draw(
-        self, need: float, receiver: int, scheme: BroadcastScheme, tol: float
+    def _pool_of(self, node: int) -> deque:
+        return self.open_entries if self._node_open[node] else self.guarded_entries
+
+    def _find(self, node: int) -> Optional[list]:
+        for entry in self._pool_of(node):
+            if entry[0] == node:
+                return entry
+        return None
+
+    def spare(self, node: int) -> float:
+        """Remaining upload credit of ``node`` (0.0 when drained)."""
+        entry = self._find(node)
+        return entry[1] if entry is not None else 0.0
+
+    def credit(self, node: int, amount: float) -> None:
+        """Return ``amount`` of upload credit to ``node``'s pool entry.
+
+        Freed bandwidth (a client departed) re-enters the pool at the
+        node's original position, preserving the earliest-feeder order.
+        """
+        if amount <= 0.0 or node not in self.position:
+            return
+        entry = self._find(node)
+        if entry is not None:
+            entry[1] += amount
+            return
+        pool = self._pool_of(node)
+        pos = self.position[node]
+        for idx, other in enumerate(pool):
+            if self.position[other[0]] > pos:
+                pool.insert(idx, [node, amount])
+                return
+        pool.append([node, amount])
+
+    def set_spare(self, node: int, amount: float) -> None:
+        """Overwrite ``node``'s spare credit (bandwidth drift)."""
+        entry = self._find(node)
+        if entry is not None:
+            if amount > self.tol:
+                entry[1] = amount
+            else:
+                self._pool_of(node).remove(entry)
+        elif amount > self.tol:
+            self.credit(node, amount)
+
+    def remove(self, node: int) -> None:
+        """Forget ``node`` entirely (departure): entry, position, class."""
+        if node not in self.position:
+            return
+        entry = self._find(node)
+        if entry is not None:
+            self._pool_of(node).remove(entry)
+        del self.position[node]
+        del self._node_open[node]
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
+    def _draw(
+        self,
+        entries: deque,
+        need: float,
+        receiver: int,
+        sink: EdgeSink,
+        before: Optional[int],
     ) -> float:
         """Transfer up to ``need`` from the pool front into ``receiver``.
 
-        Returns the unmet remainder.  Entries drained to within ``tol`` are
-        dropped so numerical dust never creates an extra connection.
+        Returns the unmet remainder.  Entries drained to within ``tol``
+        are dropped so numerical dust never creates an extra connection.
+        With ``before`` set, only entries introduced strictly earlier are
+        touched (entries are position-sorted, so the scan stops at the
+        first too-late one).
         """
-        entries = self.entries
+        tol = self.tol
         while need > tol and entries:
             node, rem = entries[0]
+            if before is not None and self.position[node] >= before:
+                break
             take = min(rem, need)
-            scheme.add_rate(node, receiver, take)
+            sink(node, receiver, take)
             need -= take
             rem -= take
             if rem <= tol:
@@ -135,6 +250,109 @@ class _Pool:
             else:
                 entries[0][1] = rem
         return max(need, 0.0)
+
+    def feed_guarded(
+        self,
+        receiver: int,
+        need: float,
+        sink: EdgeSink,
+        *,
+        before: Optional[int] = None,
+    ) -> float:
+        """Feed a guarded receiver: open bandwidth only (firewall)."""
+        return self._draw(self.open_entries, need, receiver, sink, before)
+
+    def feed_open(
+        self,
+        receiver: int,
+        need: float,
+        sink: EdgeSink,
+        *,
+        before: Optional[int] = None,
+    ) -> float:
+        """Feed an open receiver: guarded pool first, open pool top-up."""
+        unmet = self._draw(self.guarded_entries, need, receiver, sink, before)
+        return self._draw(self.open_entries, unmet, receiver, sink, before)
+
+    def feed(
+        self,
+        receiver: int,
+        need: float,
+        sink: EdgeSink,
+        *,
+        guarded: bool,
+        before: Optional[int] = None,
+    ) -> float:
+        if guarded:
+            return self.feed_guarded(receiver, need, sink, before=before)
+        return self.feed_open(receiver, need, sink, before=before)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def clone(self) -> "PackingState":
+        """Independent deep copy (memoized states are shared — see
+        :class:`AcyclicSolution`)."""
+        return self.remap(None)
+
+    def remap(self, mapping: Optional[dict[int, int]]) -> "PackingState":
+        """Copy with node ids translated through ``mapping`` (None = id).
+
+        Used to carry a packing computed in canonical instance space into
+        the external-id space of a live plan.
+        """
+        out = PackingState(self.tol)
+        key = (lambda n: n) if mapping is None else mapping.__getitem__
+        out.open_entries = deque([key(n), rem] for n, rem in self.open_entries)
+        out.guarded_entries = deque(
+            [key(n), rem] for n, rem in self.guarded_entries
+        )
+        out.position = {key(n): p for n, p in self.position.items()}
+        out.next_position = self.next_position
+        out._node_open = {key(n): o for n, o in self._node_open.items()}
+        return out
+
+
+def pack_word(
+    instance: Instance, word: str, throughput: float
+) -> tuple[BroadcastScheme, PackingState]:
+    """Lemma 4.6 packing, returning the scheme *and* the residual pools.
+
+    Same construction as :func:`scheme_from_word`; the returned
+    :class:`PackingState` is what incremental repair resumes from.  For a
+    non-positive ``throughput`` the scheme is empty and every node keeps
+    its full bandwidth as spare credit.
+    """
+    check_word_shape(instance, word, complete=True)
+    scheme = BroadcastScheme.for_instance(instance)
+    state = PackingState(tol=1e-9 * max(1.0, throughput))
+    state.push(0, instance.source_bw, open_=True)
+    # A non-positive throughput needs no special case: every draw below
+    # is a no-op, leaving an empty scheme and full-bandwidth pools.
+    next_open, next_guarded = 1, instance.n + 1
+    for pos, letter in enumerate(word):
+        if letter == GUARDED:
+            node = next_guarded
+            next_guarded += 1
+            unmet = state.feed_guarded(node, throughput, scheme.add_rate)
+            if unmet > state.tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: guarded node "
+                    f"{node} (position {pos}) short of {unmet:g} open "
+                    f"bandwidth"
+                )
+            state.push(node, instance.bandwidth(node), open_=False)
+        else:
+            node = next_open
+            next_open += 1
+            unmet = state.feed_open(node, throughput, scheme.add_rate)
+            if unmet > state.tol:
+                raise InfeasibleThroughputError(
+                    f"word invalid at rate {throughput:g}: open node {node} "
+                    f"(position {pos}) short of {unmet:g} bandwidth"
+                )
+            state.push(node, instance.bandwidth(node), open_=True)
+    return scheme, state
 
 
 def scheme_from_word(
@@ -150,41 +368,10 @@ def scheme_from_word(
       and tops up from the open pool.
 
     Raises :class:`InfeasibleThroughputError` when the word is not valid
-    for ``throughput`` (some node cannot be fully fed).
+    for ``throughput`` (some node cannot be fully fed).  Callers that also
+    need the residual spare-upload pools use :func:`pack_word`.
     """
-    check_word_shape(instance, word, complete=True)
-    scheme = BroadcastScheme.for_instance(instance)
-    if throughput <= 0.0 or not word:
-        return scheme
-    tol = 1e-9 * max(1.0, throughput)
-    open_pool = _Pool()
-    guarded_pool = _Pool()
-    open_pool.push(0, instance.source_bw)
-    next_open, next_guarded = 1, instance.n + 1
-    for pos, letter in enumerate(word):
-        if letter == GUARDED:
-            node = next_guarded
-            next_guarded += 1
-            unmet = open_pool.draw(throughput, node, scheme, tol)
-            if unmet > tol:
-                raise InfeasibleThroughputError(
-                    f"word invalid at rate {throughput:g}: guarded node "
-                    f"{node} (position {pos}) short of {unmet:g} open "
-                    f"bandwidth"
-                )
-            guarded_pool.push(node, instance.bandwidth(node))
-        else:
-            node = next_open
-            next_open += 1
-            unmet = guarded_pool.draw(throughput, node, scheme, tol)
-            unmet = open_pool.draw(unmet, node, scheme, tol)
-            if unmet > tol:
-                raise InfeasibleThroughputError(
-                    f"word invalid at rate {throughput:g}: open node {node} "
-                    f"(position {pos}) short of {unmet:g} bandwidth"
-                )
-            open_pool.push(node, instance.bandwidth(node))
-    return scheme
+    return pack_word(instance, word, throughput)[0]
 
 
 def acyclic_guarded_scheme(
@@ -219,5 +406,5 @@ def acyclic_guarded_scheme(
             raise InfeasibleThroughputError(
                 f"supplied word {chosen!r} is not valid at rate {target:g}"
             )
-    scheme = scheme_from_word(instance, chosen, target)
-    return AcyclicSolution(scheme, target, chosen)
+    scheme, packing = pack_word(instance, chosen, target)
+    return AcyclicSolution(scheme, target, chosen, packing)

@@ -18,9 +18,14 @@ event-driven engine of :mod:`repro.runtime`:
 The headline numbers: churn is indeed catastrophic without repair
 (downstream nodes starve), while a recomputation restores near-optimal
 throughput — i.e. the fragility lies in the static overlay, not in the
-model.  The full dynamic story (reactive/periodic repair, scenario
-sweeps) lives in :mod:`repro.runtime`; this module keeps the original
-single-failure headline experiment and its report shape.
+model.  Since the planning seam landed, the same trace is additionally
+replayed under the reactive (full rebuild) and incremental (local
+repair) policies, so the report also answers *what the repair costs*:
+both restore the survivors, but the incremental planner does it without
+paying a dichotomic search (``repair_plan_seconds`` vs
+``rebuild_plan_seconds``).  The full dynamic story (scenario sweeps,
+tolerance ablations) lives in :mod:`repro.runtime` and
+:mod:`repro.experiments.ablations`.
 """
 
 from __future__ import annotations
@@ -31,8 +36,13 @@ from typing import Optional
 import numpy as np
 
 from ..instances.generators import random_instance
-from ..runtime.controller import StaticController
-from ..runtime.engine import OverlayCache, RuntimeEngine
+from ..planning import PlanCache
+from ..runtime.controller import (
+    IncrementalController,
+    ReactiveController,
+    StaticController,
+)
+from ..runtime.engine import RuntimeEngine
 from ..runtime.events import DynamicPlatform, NodeLeave
 
 __all__ = ["ChurnReport", "churn_experiment"]
@@ -50,6 +60,12 @@ class ChurnReport:
     churn_min_goodput: float  #: worst goodput among survivors, post-failure
     starved_nodes: int  #: survivors below 50% of the planned rate
     repaired_rate: float  #: T*_ac of the surviving swarm (static repair)
+    # Repair-vs-rebuild columns (one replay each of the same trace):
+    rebuild_min_goodput: float = 0.0  #: post-failure worst goodput, reactive
+    repair_min_goodput: float = 0.0  #: post-failure worst goodput, incremental
+    rebuild_plan_seconds: float = 0.0  #: planner wall time of the rebuild
+    repair_plan_seconds: float = 0.0  #: planner wall time of the repair
+    incremental_repairs: int = 0  #: deltas applied (0 = the repair fell back)
 
     @property
     def collapse_factor(self) -> float:
@@ -64,6 +80,13 @@ class ChurnReport:
         if self.planned_rate <= 0:
             return 1.0
         return self.repaired_rate / self.planned_rate
+
+    @property
+    def repair_vs_rebuild(self) -> float:
+        """Post-failure goodput of local repair relative to full rebuild."""
+        if self.rebuild_min_goodput <= 0:
+            return 1.0
+        return self.repair_min_goodput / self.rebuild_min_goodput
 
 
 def churn_experiment(
@@ -87,30 +110,43 @@ def churn_experiment(
     simulations (see :mod:`repro.simulation.backends`); ``warm_epochs``
     carries packet buffers across the failure boundary, so the collapse
     epoch measures the mid-stream stall rather than a cold restart.
+
+    The same trace is then replayed under the reactive (full-rebuild)
+    and incremental (local-repair) policies, filling the repair-vs-
+    rebuild columns of the report.
     """
     rng = np.random.default_rng(seed)
     inst = random_instance(rng, size, open_prob, distribution)
 
-    cache = OverlayCache()
+    cache = PlanCache()
     sol = cache.solve(inst)
 
     # The busiest relay: the non-source node forwarding the most rate.
     forwarding = [(sol.scheme.out_rate(v), v) for v in inst.receivers()]
     failed_forwarding, failed = max(forwarding)
 
-    platform = DynamicPlatform.from_instance(inst)
-    engine = RuntimeEngine(
-        platform,
-        [NodeLeave(time=slots // 2, node_id=failed)],
-        slots,
-        seed=seed,
-        cache=cache,
-        warmup_fraction=0.3,
-        sim_backend=sim_backend,
-        warm_epochs=warm_epochs,
-    )
-    result = engine.run(StaticController())
+    def replay(controller, replay_cache):
+        engine = RuntimeEngine(
+            DynamicPlatform.from_instance(inst),
+            [NodeLeave(time=slots // 2, node_id=failed)],
+            slots,
+            seed=seed,
+            cache=replay_cache,
+            warmup_fraction=0.3,
+            sim_backend=sim_backend,
+            warm_epochs=warm_epochs,
+        )
+        return engine.run(controller)
+
+    result = replay(StaticController(), cache)
     healthy, churned = result.epochs[0], result.epochs[-1]
+    # The last epoch starts at the failure boundary, so its plan_seconds
+    # is exactly what the post-departure re-planning decision cost.  The
+    # repair-vs-rebuild replays each get a *fresh* cache: a shared memo
+    # would turn the reactive rebuild into a dict lookup and the cost
+    # columns into noise.
+    rebuilt = replay(ReactiveController(), PlanCache())
+    repaired = replay(IncrementalController(), PlanCache())
     return ChurnReport(
         size=size,
         planned_rate=sol.throughput,
@@ -120,4 +156,9 @@ def churn_experiment(
         churn_min_goodput=churned.min_goodput,
         starved_nodes=churned.starved,
         repaired_rate=churned.optimal_rate,
+        rebuild_min_goodput=rebuilt.epochs[-1].min_goodput,
+        repair_min_goodput=repaired.epochs[-1].min_goodput,
+        rebuild_plan_seconds=rebuilt.epochs[-1].plan_seconds,
+        repair_plan_seconds=repaired.epochs[-1].plan_seconds,
+        incremental_repairs=repaired.repairs,
     )

@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="build the Theorem 5.2 cyclic scheme "
                             "(open-only instances)")
 
+    # Dynamic choice lists: --help always reflects the live registries
+    # (a plugin registering a controller/planner shows up immediately,
+    # and nothing here can drift from CONTROLLERS / PLANNERS).
+    from .planning import planner_names
+    from .runtime.controller import controller_names
+    from .simulation.core import available_backends
+
     runtime = sub.add_parser(
         "runtime",
         help="event-driven dynamic-platform run (repro.runtime)",
@@ -80,7 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--scenario", default="steady-churn",
                          help="registered scenario name (see --list)")
     runtime.add_argument("--controller", default="reactive",
-                         help="re-optimization policy (see --list)")
+                         help="re-optimization policy, one of: "
+                              f"{', '.join(controller_names())}")
+    runtime.add_argument("--planner", default=None,
+                         help="plan-lifecycle implementation, one of: "
+                              f"{', '.join(planner_names())} "
+                              "(default: 'incremental' for the "
+                              "incremental controller, 'full' otherwise)")
+    runtime.add_argument("--repair-tolerance", type=float, default=None,
+                         metavar="FRAC",
+                         help="incremental planner only: maximum fraction "
+                              "below the current optimum a repaired plan "
+                              "may provision before a full rebuild is "
+                              "forced (default 0.1)")
     runtime.add_argument("--seed", type=int, default=0,
                          help="seed for swarm sampling, events, transport")
     runtime.add_argument("--period", type=int, default=120,
@@ -99,8 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "mode, tree-simulation workers for "
                               "--sim-backend sharded")
     runtime.add_argument("--sim-backend", default="reference",
-                         choices=["reference", "vectorized", "sharded",
-                                  "auto"],
+                         choices=list(available_backends()),
                          help="per-epoch transport implementation: "
                               "'reference' (historical per-edge loop, any "
                               "scheme), 'vectorized' (numpy-batched, any "
@@ -181,6 +199,7 @@ def _cmd_ablations() -> int:
         cyclic_gain,
         greedy_vs_exhaustive,
         packing_degree_ablation,
+        repair_tolerance_ablation,
         simulation_backend_ablation,
         source_sensitivity,
     )
@@ -246,6 +265,19 @@ def _cmd_ablations() -> int:
         )
     )
     print()
+    print("Repair-tolerance ablation (incremental planner, steady churn):")
+    print(
+        format_table(
+            ["tolerance", "rebuilds", "repairs", "fallbacks", "mean opt",
+             "plan ms"],
+            [
+                [r.tolerance, r.rebuilds, r.repairs, r.fallbacks,
+                 f"{r.mean_optimality:.3f}", f"{1000 * r.plan_seconds:.1f}"]
+                for r in repair_tolerance_ablation()
+            ],
+        )
+    )
+    print()
     rep = churn_experiment()
     print(
         "Churn: failing the busiest relay mid-stream "
@@ -255,6 +287,22 @@ def _cmd_ablations() -> int:
         f"static re-optimization restores rate {rep.repaired_rate:.1f} "
         f"({100 * rep.repair_ratio:.0f}% of the original)."
     )
+    if rep.incremental_repairs:
+        print(
+            "Repair vs rebuild on the same trace: incremental repair "
+            f"reaches {100 * rep.repair_vs_rebuild:.0f}% of the full "
+            f"rebuild's post-failure goodput for "
+            f"{1000 * rep.repair_plan_seconds:.2f} ms of planning vs "
+            f"{1000 * rep.rebuild_plan_seconds:.2f} ms "
+            f"({rep.incremental_repairs} delta(s) applied)."
+        )
+    else:
+        print(
+            "Repair vs rebuild on the same trace: the busiest relay's "
+            "departure exceeded the spare upload credit, so the "
+            "incremental planner fell back to a full rebuild "
+            f"(goodput parity: {100 * rep.repair_vs_rebuild:.0f}%)."
+        )
     return 0
 
 
@@ -328,6 +376,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         controller_names,
         get_scenario,
         make_controller,
+        planner_names,
         run_batch,
         scenario_grid,
         scenario_names,
@@ -337,6 +386,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     if args.list_names:
         print("scenarios  :", ", ".join(scenario_names()))
         print("controllers:", ", ".join(controller_names()))
+        print("planners   :", ", ".join(planner_names()))
         return 0
 
     try:
@@ -354,6 +404,35 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         print(
             f"error: unknown controller {args.controller!r} "
             f"(known: {', '.join(controller_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.planner is not None and args.planner not in planner_names():
+        print(
+            f"error: unknown planner {args.planner!r} "
+            f"(known: {', '.join(planner_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.repair_tolerance is not None and not (
+        0.0 <= args.repair_tolerance < 1.0
+    ):
+        print(
+            f"error: --repair-tolerance must be in [0, 1), "
+            f"got {args.repair_tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+    # The tolerance only reaches the incremental planner.  In --batch
+    # mode the sweep always includes the incremental policy, so it is
+    # never dead; a single run must actually resolve that planner.
+    if args.repair_tolerance is not None and not args.batch and not (
+        args.planner == "incremental"
+        or (args.planner is None and args.controller == "incremental")
+    ):
+        print(
+            "error: --repair-tolerance applies to the 'incremental' planner "
+            "(pass --planner incremental or --controller incremental)",
             file=sys.stderr,
         )
         return 2
@@ -388,6 +467,8 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             engine_kwargs={"min_epoch_slots": args.tick},
             sim_backend=args.sim_backend,
             warm_epochs=args.warm_epochs,
+            planner=args.planner,
+            repair_tolerance=args.repair_tolerance,
         )
         print(
             f"sweep: {args.scenario} x {{{', '.join(controller_names())}}} "
@@ -418,18 +499,20 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         sim_backend=args.sim_backend,
         warm_epochs=args.warm_epochs,
         sim_workers=args.workers,
+        planner=args.planner,
+        repair_tolerance=args.repair_tolerance,
     )
     result = engine.run(controller)
     print(
         format_table(
             ["epoch", "slots", "alive", "planned", "T*_ac", "min goodput",
-             "delivered", "starved", "rebuilt"],
+             "delivered", "starved", "plan"],
             [
                 [
                     f"{e.start}-{e.end}", e.slots, e.num_alive,
                     f"{e.planned_rate:.3f}", f"{e.optimal_rate:.3f}",
                     f"{e.min_goodput:.3f}", f"{e.delivered_fraction:.2f}",
-                    e.starved, "yes" if e.rebuilt else "-",
+                    e.starved, e.plan_op if e.rebuilt else "-",
                 ]
                 for e in result.epochs
             ],
@@ -441,10 +524,14 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         else f"{result.mean_repair_latency:.1f} slots"
     )
     print(
+        f"planner={result.planner}  "
         f"rebuilds={result.rebuilds}  "
+        f"repairs={result.repairs} "
+        f"(fallbacks={result.repair_fallbacks})  "
         f"mean delivered={result.mean_delivered_fraction:.3f}  "
         f"mean vs T*_ac={result.mean_optimality_fraction:.3f}  "
         f"repair latency={latency}  "
+        f"plan time={1000 * result.plan_seconds:.1f} ms  "
         f"overlay cache={result.cache_hits}/"
         f"{result.cache_hits + result.cache_misses}"
     )

@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 
 from .exceptions import InvalidInstanceError
 
-__all__ = ["Instance", "SOURCE", "NodeKind"]
+__all__ = ["Instance", "SOURCE", "NodeKind", "canonicalize_population"]
 
 #: Index of the source node in every instance.
 SOURCE: int = 0
@@ -305,3 +305,27 @@ class Instance:
             f"Instance(b0={self.source_bw:g}, open={_fmt(self.open_bws)}, "
             f"guarded={_fmt(self.guarded_bws)})"
         )
+
+
+def canonicalize_population(
+    source_bw: float,
+    opens: Sequence[tuple[int, float]],
+    guardeds: Sequence[tuple[int, float]],
+) -> tuple["Instance", list[int]]:
+    """Canonical instance + id map for an externally-keyed population.
+
+    ``opens`` / ``guardeds`` are ``(external id, bandwidth)`` rosters.
+    Returns ``(instance, node_ids)`` where ``node_ids[k]`` is the external
+    id of canonical node ``k`` (``node_ids[0] == 0``, the source), so any
+    solver output computed on ``instance`` can be mapped back to the
+    caller's peers.  Shared by every component that bridges a live swarm
+    to the static optimizer (platform snapshots, repaired-plan
+    materialization).
+    """
+    inst, perm = Instance.from_unsorted(
+        source_bw,
+        [bw for _, bw in opens],
+        [bw for _, bw in guardeds],
+    )
+    concat_ids = [0] + [i for i, _ in opens] + [i for i, _ in guardeds]
+    return inst, [concat_ids[p] for p in perm]

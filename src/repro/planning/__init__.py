@@ -1,0 +1,50 @@
+"""Plan lifecycle: construction, caching, incremental repair.
+
+The paper's pipeline produces one overlay for one frozen platform; the
+runtime engine (:mod:`repro.runtime`) needs a stream of them as the
+platform churns.  This subsystem owns that *plan lifecycle* — extracted
+from the engine so that *how* plans are produced is a seam, independent
+of *when* controllers request them:
+
+* :mod:`~repro.planning.plan` — :class:`Plan` (the committed overlay),
+  :class:`PlanDelta` (what an incremental repair changed),
+  :class:`PlanOutcome` (a planner's answer, with cost accounting);
+* :mod:`~repro.planning.cache` — :class:`PlanCache`, the LRU memo of
+  Theorem 4.1 solutions (hit/miss/eviction counters);
+* :mod:`~repro.planning.planner` — the :class:`Planner` protocol and
+  :class:`FullRebuildPlanner` (the historical always-reoptimize path);
+* :mod:`~repro.planning.repair` — :class:`IncrementalRepairPlanner`,
+  which patches the surviving overlay locally (resumable Lemma 4.6
+  packing) and falls back to a full rebuild past a degradation
+  tolerance.
+
+Planners are registered by name in :data:`PLANNERS` and spawned via
+:func:`make_planner`, mirroring the controller registry.
+"""
+
+from .cache import CacheStats, PlanCache
+from .plan import Plan, PlanDelta, PlanOutcome
+from .planner import (
+    PLANNERS,
+    FullRebuildPlanner,
+    Planner,
+    make_planner,
+    planner_names,
+)
+from .repair import IncrementalRepairPlanner
+
+PLANNERS.setdefault(IncrementalRepairPlanner.name, IncrementalRepairPlanner)
+
+__all__ = [
+    "Plan",
+    "PlanDelta",
+    "PlanOutcome",
+    "PlanCache",
+    "CacheStats",
+    "Planner",
+    "FullRebuildPlanner",
+    "IncrementalRepairPlanner",
+    "PLANNERS",
+    "make_planner",
+    "planner_names",
+]

@@ -1,0 +1,81 @@
+"""Plan-lifecycle records: the committed overlay and its deltas.
+
+A :class:`Plan` is what a planner hands the runtime engine: a Theorem 4.1
+overlay frozen at build time, in the canonical space of its instance,
+plus the id map back to live peers.  A :class:`PlanDelta` describes an
+*incremental* transition between two plans (which peers departed /
+joined / drifted, how many edges moved, how far the kept rate sits from
+the current optimum), and a :class:`PlanOutcome` is the planner's full
+answer to a replanning request — the plan, whether it was repaired or
+rebuilt, and (filled in by the engine) the wall clock the decision cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instance import Instance
+from ..core.scheme import BroadcastScheme
+
+__all__ = ["Plan", "PlanDelta", "PlanOutcome"]
+
+
+@dataclass
+class Plan:
+    """An overlay the controller committed to, frozen at build time.
+
+    The scheme lives in the *canonical space* of ``instance``;
+    ``node_ids[k]`` maps canonical position ``k`` back to the external id
+    it was built for.  Peers that join later are simply absent — the
+    whole point of the runtime is measuring what that costs.  ``word`` is
+    the greedy coding word for full builds and ``""`` for incrementally
+    repaired plans (whose edge sets no longer follow a single word).
+    """
+
+    instance: Instance
+    scheme: BroadcastScheme
+    rate: float
+    word: str
+    node_ids: list[int]
+    built_at: int
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """What one incremental repair changed, relative to the previous plan."""
+
+    base_built_at: int  #: ``built_at`` of the plan the delta was applied to
+    departed: tuple[int, ...] = ()  #: external ids removed from the overlay
+    joined: tuple[int, ...] = ()  #: external ids attached as new leaves
+    drifted: tuple[int, ...] = ()  #: external ids whose bandwidth changed
+    refed: tuple[int, ...] = ()  #: orphaned receivers re-fed from spare credit
+    edges_removed: int = 0
+    edges_added: int = 0
+    rate: float = 0.0  #: rate the repaired plan still provisions
+    optimal_bound: float = 0.0  #: Lemma 5.1 upper bound ``T*`` of the members
+    degradation: float = 0.0  #: ``max(0, 1 - rate / optimal_bound)``
+
+    @property
+    def touched(self) -> int:
+        """Peers the repair had to look at (the locality measure)."""
+        return len(
+            set(self.departed) | set(self.joined) | set(self.drifted)
+            | set(self.refed)
+        )
+
+
+@dataclass
+class PlanOutcome:
+    """A planner's answer to one replanning request."""
+
+    plan: Plan
+    op: str  #: ``"build"`` (full optimization) or ``"repair"`` (delta)
+    fallback: bool = False  #: a repair was attempted but fell back to build
+    reason: str = ""  #: why the fallback happened (empty otherwise)
+    delta: Optional[PlanDelta] = None  #: filled for ``op == "repair"``
+    seconds: float = field(default=0.0, compare=False)  #: planner wall time

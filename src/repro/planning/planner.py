@@ -1,0 +1,99 @@
+"""The plan-lifecycle seam: *how* a plan is produced, behind a protocol.
+
+Controllers (:mod:`repro.runtime.controller`) decide *when* the overlay
+changes; planners decide *how*.  The engine calls exactly two hooks:
+
+* :meth:`Planner.build` — full optimization of the current alive swarm
+  (the Theorem 4.1 pipeline, memoized through the engine's
+  :class:`~repro.planning.cache.PlanCache`);
+* :meth:`Planner.replan` — react to applied platform events with a
+  :class:`~repro.planning.plan.PlanOutcome`: either an incremental
+  repair of the live plan or a fallback full build.
+
+:class:`FullRebuildPlanner` is the historical behavior extracted intact
+from ``RuntimeEngine.build_plan``: every replanning request pays a full
+dichotomic search + Lemma 4.6 re-packing.  The incremental alternative
+lives in :mod:`repro.planning.repair`.
+
+Planners are registered by name in :data:`PLANNERS` (filled by
+:mod:`repro.planning`) so the CLI and picklable batch job specs can
+spawn them, mirroring the controller registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable
+
+from .plan import Plan, PlanOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.engine import RuntimeEngine
+
+__all__ = [
+    "Planner",
+    "FullRebuildPlanner",
+    "PLANNERS",
+    "make_planner",
+    "planner_names",
+]
+
+
+class Planner:
+    """Base planner protocol (stateful: one instance per engine run)."""
+
+    name = "base"
+
+    def build(self, engine: "RuntimeEngine") -> Plan:
+        """Fully optimize the current alive swarm into a fresh plan."""
+        raise NotImplementedError
+
+    def replan(
+        self, engine: "RuntimeEngine", plan: Plan, events: Iterable[object]
+    ) -> PlanOutcome:
+        """React to applied events; default: always a full rebuild."""
+        return PlanOutcome(self.build(engine), op="build")
+
+
+class FullRebuildPlanner(Planner):
+    """Today's behavior: every plan is a from-scratch optimization."""
+
+    name = "full"
+
+    def build(self, engine: "RuntimeEngine") -> Plan:
+        return self._build_with_solution(engine)[0]
+
+    def _build_with_solution(self, engine: "RuntimeEngine"):
+        """``(plan, AcyclicSolution)`` — subclasses also need the
+        solution's residual packing state, without a second memo hit."""
+        instance, node_ids = engine.platform.snapshot()
+        sol = engine.cache.solve(instance)
+        plan = Plan(
+            instance=instance,
+            scheme=sol.scheme,
+            rate=sol.throughput,
+            word=sol.word,
+            node_ids=node_ids,
+            built_at=engine.now,
+        )
+        return plan, sol
+
+
+#: Name -> factory registry (picklable job specs carry the name plus
+#: keyword arguments).  Filled here and by :mod:`repro.planning.repair`.
+PLANNERS: Dict[str, Callable[..., Planner]] = {
+    FullRebuildPlanner.name: FullRebuildPlanner,
+}
+
+
+def make_planner(name: str, **kwargs) -> Planner:
+    """Instantiate a registered planner by name."""
+    try:
+        factory = PLANNERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLANNERS))
+        raise KeyError(f"unknown planner {name!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+def planner_names() -> list[str]:
+    return sorted(PLANNERS)

@@ -1,0 +1,365 @@
+"""Incremental overlay repair: patch the surviving plan, don't re-plan.
+
+Theorem 4.1 overlays have bounded out-degrees, so a departure orphans
+only a handful of receivers — yet a full re-optimization pays a
+dichotomic search (~200 Algorithm 2 passes) plus a complete Lemma 4.6
+re-packing for every change.  :class:`IncrementalRepairPlanner` reacts
+*locally* instead, resuming the two-pool FIFO packing state
+(:class:`~repro.algorithms.acyclic_guarded.PackingState`) the full build
+left behind:
+
+* **leave** — the departed peer's feeders get their credit back, its
+  direct clients (the orphaned subtree roots) are re-fed from pool
+  entries *earlier in the feed order* (which keeps the repaired scheme
+  acyclic), and the peer's own spare credit is forfeited;
+* **join** — the newcomer is attached as the last node of the feed
+  order, fed from any spare credit (firewall-respecting), and its own
+  upload joins the pools;
+* **drift** — spare credit is adjusted; an overloaded peer sheds its
+  latest-attached clients, which are then re-fed like orphans.
+
+The plan keeps provisioning its original rate.  After every event batch
+the planner compares that rate against the Lemma 5.1 *upper bound*
+``T*`` of the current membership — an O(n) closed form, unlike the exact
+``T*_ac`` — and falls back to a full rebuild once the kept rate drops
+below ``(1 - tolerance) x T*``.  Because ``T* >= T*_ac``, the check is
+conservative: a surviving repaired plan is guaranteed within
+``tolerance`` of what a full rebuild could provision.  Any structural
+failure (no spare credit reachable, model out of sync, validation
+error) also falls back, so repaired epochs are never *worse* than the
+reactive baseline by more than the tolerance.
+
+Every repaired scheme is validated (bandwidth, firewall, acyclicity)
+before it is handed to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+from ..algorithms.acyclic_guarded import PackingState
+from ..core.bounds import cyclic_optimum
+from ..core.exceptions import InvalidSchemeError
+from ..core.instance import Instance, NodeKind, canonicalize_population
+from ..core.scheme import BroadcastScheme
+from .plan import Plan, PlanDelta, PlanOutcome
+from .planner import FullRebuildPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.engine import RuntimeEngine
+
+__all__ = ["IncrementalRepairPlanner"]
+
+
+class _RepairFailed(Exception):
+    """Internal: this delta cannot be applied — fall back to a rebuild."""
+
+
+class _OverlayModel:
+    """The planner's live overlay, in external-id space.
+
+    Mirrors the active plan as mutable adjacency (``out``/``inc``), the
+    member roster and the resumable packing pools, so deltas are O(degree
+    + pool scan) instead of O(full re-plan).  Mutated in place: any
+    failed application is followed by a full rebuild, which replaces the
+    model wholesale.
+    """
+
+    __slots__ = (
+        "rate", "source_bw", "kinds", "bandwidths", "out", "inc", "packing",
+        "tol", "edges_added", "edges_removed",
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        source_bw: float,
+        packing: PackingState,
+    ) -> None:
+        self.rate = rate
+        self.source_bw = source_bw
+        self.kinds: Dict[int, str] = {}  #: receiver ext id -> node kind
+        self.bandwidths: Dict[int, float] = {}
+        self.out: Dict[int, Dict[int, float]] = {}
+        self.inc: Dict[int, Dict[int, float]] = {}
+        self.packing = packing
+        self.tol = packing.tol
+        self.edges_added = 0
+        self.edges_removed = 0
+
+    @classmethod
+    def from_plan(cls, plan: Plan, packing: PackingState) -> "_OverlayModel":
+        ext = plan.node_ids
+        model = cls(
+            rate=plan.rate,
+            source_bw=plan.instance.source_bw,
+            packing=packing.remap({k: ext[k] for k in range(len(ext))}),
+        )
+        inst = plan.instance
+        for k in inst.receivers():
+            model.kinds[ext[k]] = inst.kind(k)
+            model.bandwidths[ext[k]] = inst.bandwidth(k)
+        model.out = {i: {} for i in [0, *model.kinds]}
+        model.inc = {i: {} for i in [0, *model.kinds]}
+        for i, j, rate in plan.scheme.edges():
+            model.out[ext[i]][ext[j]] = rate
+            model.inc[ext[j]][ext[i]] = rate
+        return model
+
+    # ------------------------------------------------------------------
+    # Edge bookkeeping (the sink the packing draws into)
+    # ------------------------------------------------------------------
+    def _sink(self, sender: int, receiver: int, amount: float) -> None:
+        row = self.out[sender]
+        if receiver not in row:
+            self.edges_added += 1
+        row[receiver] = row.get(receiver, 0.0) + amount
+        self.inc[receiver][sender] = row[receiver]
+
+    def _drop_edge(self, sender: int, receiver: int) -> float:
+        rate = self.out[sender].pop(receiver, 0.0)
+        self.inc[receiver].pop(sender, None)
+        if rate:
+            self.edges_removed += 1
+        return rate
+
+    def _refeed(self, deficits: Dict[int, float]) -> list[int]:
+        """Re-feed orphaned receivers from spare credit, earliest first.
+
+        Each receiver only draws from senders strictly earlier in the
+        feed order (``before=`` its own position), preserving acyclicity.
+        """
+        packing = self.packing
+        refed = sorted(deficits, key=packing.position.__getitem__)
+        for node in refed:
+            unmet = packing.feed(
+                node,
+                deficits[node],
+                self._sink,
+                guarded=(self.kinds[node] == NodeKind.GUARDED),
+                before=packing.position[node],
+            )
+            if unmet > self.tol:
+                raise _RepairFailed(
+                    f"orphan {node} short of {unmet:g} upstream spare credit"
+                )
+        return refed
+
+    # ------------------------------------------------------------------
+    # Event applications
+    # ------------------------------------------------------------------
+    def apply_leave(self, node: int) -> list[int]:
+        if node not in self.kinds:
+            raise _RepairFailed(f"departure of unplanned node {node}")
+        for parent, rate in self.inc.pop(node).items():
+            self.out[parent].pop(node, None)
+            self.edges_removed += 1
+            self.packing.credit(parent, rate)
+        deficits: Dict[int, float] = {}
+        for child, rate in self.out.pop(node).items():
+            self.inc[child].pop(node, None)
+            self.edges_removed += 1
+            deficits[child] = deficits.get(child, 0.0) + rate
+        self.packing.remove(node)
+        del self.kinds[node]
+        del self.bandwidths[node]
+        return self._refeed(deficits)
+
+    def apply_join(self, node: int, kind: str, bandwidth: float) -> None:
+        if node in self.kinds:
+            raise _RepairFailed(f"join of already-planned node {node}")
+        # Attach as the *last* node of the feed order: every existing
+        # member is an eligible (earlier) feeder.
+        self.kinds[node] = kind
+        self.bandwidths[node] = bandwidth
+        self.out[node] = {}
+        self.inc[node] = {}
+        if self.rate > 0:
+            unmet = self.packing.feed(
+                node,
+                self.rate,
+                self._sink,
+                guarded=(kind == NodeKind.GUARDED),
+            )
+            if unmet > self.tol:
+                raise _RepairFailed(
+                    f"joiner {node} short of {unmet:g} spare credit"
+                )
+        self.packing.push(node, bandwidth, open_=(kind == NodeKind.OPEN))
+
+    def apply_drift(self, node: int, bandwidth: float) -> list[int]:
+        if node not in self.kinds:
+            raise _RepairFailed(f"drift of unplanned node {node}")
+        used = sum(self.out[node].values())
+        self.bandwidths[node] = bandwidth
+        if bandwidth + self.tol >= used:
+            self.packing.set_spare(node, max(bandwidth - used, 0.0))
+            return []
+        # Overloaded: shed the latest-attached clients (they have the
+        # most earlier alternatives) until within the new bandwidth.
+        position = self.packing.position
+        excess = used - bandwidth
+        deficits: Dict[int, float] = {}
+        for child in sorted(
+            self.out[node], key=position.__getitem__, reverse=True
+        ):
+            if excess <= self.tol:
+                break
+            rate = self.out[node][child]
+            take = min(rate, excess)
+            excess -= take
+            if take >= rate - self.tol:
+                self._drop_edge(node, child)
+            else:
+                self.out[node][child] = rate - take
+                self.inc[child][node] = rate - take
+            deficits[child] = deficits.get(child, 0.0) + take
+        self.packing.set_spare(node, 0.0)
+        return self._refeed(deficits)
+
+    # ------------------------------------------------------------------
+    # Bridge back to the engine
+    # ------------------------------------------------------------------
+    def _instance(self) -> tuple[Instance, list[int]]:
+        opens = [
+            (i, self.bandwidths[i])
+            for i in sorted(self.kinds)
+            if self.kinds[i] == NodeKind.OPEN
+        ]
+        guardeds = [
+            (i, self.bandwidths[i])
+            for i in sorted(self.kinds)
+            if self.kinds[i] == NodeKind.GUARDED
+        ]
+        return canonicalize_population(self.source_bw, opens, guardeds)
+
+    def materialize(self, now: int) -> Plan:
+        """Freeze the model into a canonical-space :class:`Plan`."""
+        inst, node_ids = self._instance()
+        canonical = {ext: k for k, ext in enumerate(node_ids)}
+        scheme = BroadcastScheme(inst.num_nodes)
+        for sender, row in self.out.items():
+            for receiver, rate in row.items():
+                if rate > self.tol:
+                    scheme.set_rate(canonical[sender], canonical[receiver], rate)
+        return Plan(
+            instance=inst,
+            scheme=scheme,
+            rate=self.rate,
+            word="",
+            node_ids=node_ids,
+            built_at=now,
+        )
+
+
+class IncrementalRepairPlanner(FullRebuildPlanner):
+    """Patch the live overlay on churn; rebuild only when it stops paying.
+
+    ``tolerance`` bounds how far the kept rate may fall below the
+    Lemma 5.1 upper bound of the current membership before a full
+    rebuild is forced; since ``T* >= T*_ac``, every surviving repair
+    provisions at least ``(1 - tolerance)`` of what a rebuild would.
+    ``validate`` re-checks every repaired scheme (bandwidth, firewall,
+    acyclicity) and treats a violation as a repair failure.
+    """
+
+    name = "incremental"
+
+    def __init__(self, tolerance: float = 0.1, *, validate: bool = True) -> None:
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError(
+                f"tolerance must be in [0, 1), got {tolerance}"
+            )
+        self.tolerance = float(tolerance)
+        self.validate = validate
+        self.repairs = 0  #: incremental deltas applied
+        self.fallbacks = 0  #: replanning requests that fell back to build
+        self.last_delta: Optional[PlanDelta] = None
+        self.degradation = 0.0  #: ``1 - rate / T*`` after the last repair
+        self._model: Optional[_OverlayModel] = None
+        self._plan: Optional[Plan] = None
+
+    # ------------------------------------------------------------------
+    def build(self, engine: "RuntimeEngine") -> Plan:
+        plan, sol = self._build_with_solution(engine)
+        if sol.packing is None:  # defensive: solutions always carry one now
+            self._model = None
+        else:
+            self._model = _OverlayModel.from_plan(plan, sol.packing)
+        self._plan = plan
+        self.degradation = 0.0
+        return plan
+
+    def replan(
+        self, engine: "RuntimeEngine", plan: Plan, events: Iterable[object]
+    ) -> PlanOutcome:
+        # Deferred import: repro.runtime imports repro.planning at module
+        # load, so the event types can only be resolved lazily here.
+        from ..runtime.events import BandwidthDrift, NodeJoin, NodeLeave
+
+        if self._model is None or self._plan is not plan:
+            return self._fallback(engine, "planner has no model for this plan")
+        model = self._model
+        departed: list[int] = []
+        joined: list[int] = []
+        drifted: list[int] = []
+        refed: list[int] = []
+        model.edges_added = model.edges_removed = 0
+        try:
+            for ev in events:
+                if isinstance(ev, NodeLeave):
+                    refed.extend(model.apply_leave(ev.node_id))
+                    departed.append(ev.node_id)
+                elif isinstance(ev, NodeJoin):
+                    if ev.node_id is None:
+                        raise _RepairFailed("join without a resolved node id")
+                    model.apply_join(ev.node_id, ev.kind, ev.bandwidth)
+                    joined.append(ev.node_id)
+                elif isinstance(ev, BandwidthDrift):
+                    refed.extend(model.apply_drift(ev.node_id, ev.bandwidth))
+                    drifted.append(ev.node_id)
+                else:
+                    raise _RepairFailed(
+                        f"unknown event type {type(ev).__name__}"
+                    )
+        except _RepairFailed as exc:
+            return self._fallback(engine, str(exc))
+
+        new_plan = model.materialize(engine.now)
+        bound = cyclic_optimum(new_plan.instance)
+        degradation = (
+            max(0.0, 1.0 - model.rate / bound) if bound > 0 else 0.0
+        )
+        if model.rate < (1.0 - self.tolerance) * bound:
+            return self._fallback(
+                engine,
+                f"degradation {degradation:.3f} exceeds tolerance "
+                f"{self.tolerance:g}",
+            )
+        if self.validate:
+            try:
+                new_plan.scheme.validate(new_plan.instance, require_acyclic=True)
+            except InvalidSchemeError as exc:
+                return self._fallback(engine, f"repaired scheme invalid: {exc}")
+        self.repairs += 1
+        self.degradation = degradation
+        self._plan = new_plan
+        self.last_delta = PlanDelta(
+            base_built_at=plan.built_at,
+            departed=tuple(departed),
+            joined=tuple(joined),
+            drifted=tuple(drifted),
+            refed=tuple(refed),
+            edges_removed=model.edges_removed,
+            edges_added=model.edges_added,
+            rate=model.rate,
+            optimal_bound=bound,
+            degradation=degradation,
+        )
+        return PlanOutcome(new_plan, op="repair", delta=self.last_delta)
+
+    def _fallback(self, engine: "RuntimeEngine", reason: str) -> PlanOutcome:
+        self.fallbacks += 1
+        return PlanOutcome(
+            self.build(engine), op="build", fallback=True, reason=reason
+        )

@@ -11,17 +11,33 @@ Layout:
 
 * :mod:`~repro.runtime.events` — event types, the queue, the mutable
   :class:`~repro.runtime.events.DynamicPlatform`;
-* :mod:`~repro.runtime.engine` — the epoch loop, the memoized
-  :class:`~repro.runtime.engine.OverlayCache`, run records;
-* :mod:`~repro.runtime.controller` — static / periodic / reactive
-  re-optimization policies plus a name registry;
+* :mod:`~repro.runtime.engine` — the epoch loop, planner injection and
+  per-epoch plan-cost accounting, run records;
+* :mod:`~repro.runtime.controller` — static / periodic / reactive /
+  incremental re-optimization policies plus a name registry;
 * :mod:`~repro.runtime.scenarios` — declarative named workloads
   (steady churn, flash crowd, diurnal drift, rack failure, Mathieu-style
   live streaming) and the user-extensible registry;
 * :mod:`~repro.runtime.batch` — ``concurrent.futures`` sweep runner
   with per-worker overlay memoization.
+
+Plan construction itself (the Theorem 4.1 pipeline, the LRU
+:class:`~repro.planning.PlanCache`, incremental repair) lives in
+:mod:`repro.planning`; ``OverlayCache`` and ``Plan`` remain importable
+from here for backward compatibility.
 """
 
+from ..planning import (
+    PLANNERS,
+    FullRebuildPlanner,
+    IncrementalRepairPlanner,
+    PlanCache,
+    PlanDelta,
+    PlanOutcome,
+    Planner,
+    make_planner,
+    planner_names,
+)
 from .batch import (
     BatchJob,
     RunSummary,
@@ -33,6 +49,7 @@ from .batch import (
 from .controller import (
     CONTROLLERS,
     Controller,
+    IncrementalController,
     PeriodicController,
     ReactiveController,
     StaticController,
@@ -80,11 +97,22 @@ __all__ = [
     "Plan",
     "EpochReport",
     "RunResult",
+    # planning seam (re-exported from repro.planning)
+    "PlanCache",
+    "PlanDelta",
+    "PlanOutcome",
+    "Planner",
+    "FullRebuildPlanner",
+    "IncrementalRepairPlanner",
+    "PLANNERS",
+    "make_planner",
+    "planner_names",
     # controllers
     "Controller",
     "StaticController",
     "PeriodicController",
     "ReactiveController",
+    "IncrementalController",
     "CONTROLLERS",
     "make_controller",
     "controller_names",

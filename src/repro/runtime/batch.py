@@ -8,13 +8,13 @@ real cores), threads or in-process serial execution on request — and
 returns condensed :class:`RunSummary` rows in job order.
 
 Jobs are plain picklable dataclasses: the scenario travels as its frozen
-spec, the controller as a registry name plus keyword arguments, so a
-worker process can rebuild both locally.  Every worker keeps one
-module-level :class:`~repro.runtime.engine.OverlayCache` shared across
-all jobs it executes: scenario grids re-solve the same canonical
-instances constantly (the same base swarm under three controllers, the
-same post-departure population at different seeds), and the cache turns
-those repeats into lookups.
+spec, the controller (and planner) as registry names plus keyword
+arguments, so a worker process can rebuild everything locally.  Every
+worker keeps one module-level :class:`~repro.planning.PlanCache` shared
+across all jobs it executes: scenario grids re-solve the same canonical
+instances constantly (the same base swarm under every controller, the
+same post-departure population at different seeds), and the LRU cache
+turns those repeats into lookups.
 
 Results are bit-identical across execution modes — parallelism changes
 completion order, never the per-job RNG streams — which the test suite
@@ -30,8 +30,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Union
 
+from ..planning import PlanCache
 from .controller import make_controller
-from .engine import OverlayCache, RunResult, RuntimeEngine
+from .engine import RunResult, RuntimeEngine
 from .scenarios import Scenario, get_scenario
 from ..experiments.common import format_table
 
@@ -102,13 +103,17 @@ class RunSummary:
     mean_optimality: float
     mean_repair_latency: Optional[float]
     final_alive: int
+    planner: str = "full"
+    repairs: int = 0  #: incremental deltas applied instead of rebuilds
+    repair_fallbacks: int = 0  #: repair attempts that fell back to a build
     #: Cache traffic this job generated.  Excluded from equality along
-    #: with ``wall_time``: the warm state of a worker's cache depends on
+    #: with the wall times: the warm state of a worker's cache depends on
     #: which jobs it happened to run before this one, so these vary
     #: across execution modes while every *measurement* stays identical.
     cache_hits: int = field(default=0, compare=False)
     cache_misses: int = field(default=0, compare=False)
     wall_time: float = field(default=0.0, compare=False)
+    plan_seconds: float = field(default=0.0, compare=False)
 
     @classmethod
     def from_result(
@@ -130,9 +135,13 @@ class RunSummary:
                 else round(result.mean_repair_latency, 6)
             ),
             final_alive=final_alive,
+            planner=result.planner,
+            repairs=result.repairs,
+            repair_fallbacks=result.repair_fallbacks,
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
             wall_time=wall_time,
+            plan_seconds=result.plan_seconds,
         )
 
 
@@ -144,10 +153,10 @@ class RunSummary:
 _WORKER_STATE = threading.local()
 
 
-def _worker_cache() -> OverlayCache:
+def _worker_cache() -> PlanCache:
     cache = getattr(_WORKER_STATE, "cache", None)
     if cache is None:
-        cache = _WORKER_STATE.cache = OverlayCache()
+        cache = _WORKER_STATE.cache = PlanCache()
     return cache
 
 
@@ -221,16 +230,21 @@ def scenario_grid(
     engine_kwargs: Optional[dict] = None,
     sim_backend: Optional[str] = None,
     warm_epochs: Optional[bool] = None,
+    planner: Optional[str] = None,
+    repair_tolerance: Optional[float] = None,
 ) -> list[BatchJob]:
     """The full cross product as a job list (seed-major, stable order).
 
     ``controller_kwargs`` is keyed by controller name; ``engine_kwargs``
     (e.g. ``{"min_epoch_slots": 10}``) applies to every job's engine.
-    ``sim_backend`` / ``warm_epochs`` are shorthands for the engine
-    kwargs of the same name — the per-epoch transport implementation
-    (see :mod:`repro.simulation.backends`) and warm-state carry-over,
-    both of which travel inside the picklable job specs like any other
-    engine knob.
+    ``sim_backend`` / ``warm_epochs`` / ``planner`` /
+    ``repair_tolerance`` are shorthands for the engine kwargs of the same
+    name — the per-epoch transport implementation (see
+    :mod:`repro.simulation.backends`), warm-state carry-over, and the
+    plan-lifecycle seam (see :mod:`repro.planning`; ``planner=None``
+    keeps the per-controller default: incremental for the
+    ``incremental`` policy, full rebuild otherwise) — all of which
+    travel inside the picklable job specs like any other engine knob.
     """
     controller_kwargs = controller_kwargs or {}
     engine_kwargs = dict(engine_kwargs or {})
@@ -238,6 +252,10 @@ def scenario_grid(
         engine_kwargs["sim_backend"] = sim_backend
     if warm_epochs is not None:
         engine_kwargs["warm_epochs"] = warm_epochs
+    if planner is not None:
+        engine_kwargs["planner"] = planner
+    if repair_tolerance is not None:
+        engine_kwargs["repair_tolerance"] = repair_tolerance
     return [
         BatchJob.make(
             scenario,
@@ -260,6 +278,7 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
             r.controller,
             r.seed,
             r.rebuilds,
+            r.repairs,
             f"{r.mean_delivered:.3f}",
             f"{r.worst_delivered:.3f}",
             f"{r.mean_optimality:.3f}",
@@ -271,8 +290,9 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
     ]
     return format_table(
         [
-            "scenario", "controller", "seed", "rebuilds", "mean dlv",
-            "worst dlv", "mean opt", "repair lat", "alive", "cache",
+            "scenario", "controller", "seed", "rebuilds", "repairs",
+            "mean dlv", "worst dlv", "mean opt", "repair lat", "alive",
+            "cache",
         ],
         rows,
     )

@@ -13,9 +13,16 @@ design space the paper's conclusion gestures at:
 * :class:`ReactiveController` — event-triggered repair: rebuild as soon
   as membership changes (departures always; arrivals optionally), go
   back to sleep otherwise.
+* :class:`IncrementalController` — event-triggered like the reactive
+  policy, but routed through the engine's *replan* seam: the injected
+  planner (:class:`~repro.planning.IncrementalRepairPlanner` by default)
+  patches the surviving overlay locally and only falls back to a full
+  rebuild past its degradation tolerance.
 
-Custom policies subclass :class:`Controller` (three small hooks) and can
-be registered by name in :data:`CONTROLLERS` so the CLI and the batch
+Controllers decide *when* the overlay changes; *how* a plan is produced
+lives in :mod:`repro.planning` behind the engine's planner seam.  Custom
+policies subclass :class:`Controller` (three small hooks) and can be
+registered by name in :data:`CONTROLLERS` so the CLI and the batch
 runner can spawn them from picklable specs.
 """
 
@@ -26,13 +33,15 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 from .events import BandwidthDrift, Event, NodeJoin, NodeLeave
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .engine import Plan, RuntimeEngine
+    from ..planning import Plan
+    from .engine import RuntimeEngine
 
 __all__ = [
     "Controller",
     "StaticController",
     "PeriodicController",
     "ReactiveController",
+    "IncrementalController",
     "CONTROLLERS",
     "make_controller",
     "controller_names",
@@ -140,12 +149,43 @@ class ReactiveController(Controller):
         return None
 
 
+class IncrementalController(ReactiveController):
+    """Event-triggered *repair* through the engine's planner seam.
+
+    Same trigger logic as :class:`ReactiveController`, but instead of
+    demanding a fresh full build the policy hands the applied events to
+    :meth:`~repro.runtime.engine.RuntimeEngine.replan`, letting the
+    injected planner patch the live overlay (or fall back to a rebuild).
+    Drift triggers default to *on* here — repairs are cheap, and feeding
+    drift to the planner keeps its overlay model's bandwidths in sync.
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        *,
+        on_leave: bool = True,
+        on_join: bool = True,
+        on_drift: bool = True,
+    ) -> None:
+        super().__init__(on_leave=on_leave, on_join=on_join, on_drift=on_drift)
+
+    def on_change(
+        self, engine: "RuntimeEngine", events: tuple[Event, ...]
+    ) -> Optional["Plan"]:
+        if any(self._triggers(ev) for ev in events):
+            return engine.replan(events)
+        return None
+
+
 #: Name -> factory registry (picklable job specs carry the name plus
 #: keyword arguments, so batch workers can rebuild the policy locally).
 CONTROLLERS: Dict[str, Callable[..., Controller]] = {
     StaticController.name: StaticController,
     PeriodicController.name: PeriodicController,
     ReactiveController.name: ReactiveController,
+    IncrementalController.name: IncrementalController,
 }
 
 

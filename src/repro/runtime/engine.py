@@ -5,16 +5,28 @@ overlay -> packet simulation) into a *control loop* over a
 :class:`~repro.runtime.events.DynamicPlatform`:
 
 1. drain all events up to the current slot and apply them;
-2. let the controller policy react (keep the current overlay, or rebuild
-   it on a snapshot of the surviving swarm via the memoized
-   :class:`OverlayCache`);
+2. let the controller policy react: keep the current overlay, or ask the
+   injected :class:`~repro.planning.Planner` for a new plan — a full
+   rebuild (:meth:`RuntimeEngine.build_plan`) or an incremental repair
+   of the live overlay (:meth:`RuntimeEngine.replan`), both memoized
+   through the planning-owned :class:`~repro.planning.PlanCache`;
 3. simulate the epoch — the interval until the next event or controller
    wake-up — through the :mod:`repro.simulation` facade (backend
    selectable per engine via ``sim_backend``), marking departed overlay
    members as failed so stale plans starve exactly the peers they would
    starve in the field;
 4. record an :class:`EpochReport` (goodput, delivered-vs-planned rate,
-   distance to the *recomputed* optimum ``T*_ac``, repair bookkeeping).
+   distance to the *recomputed* optimum ``T*_ac``, plan-op and
+   planner-cost bookkeeping).
+
+Plan *construction* lives entirely in :mod:`repro.planning`; the engine
+only decides epoch boundaries, keeps the measurement loop honest, and
+accounts for what each planning decision cost (``plan_op`` /
+``plan_seconds`` per epoch, ``repairs`` / ``repair_fallbacks`` /
+``plan_seconds`` per run).  ``planner=None`` resolves per controller at
+:meth:`RuntimeEngine.run`: the ``incremental`` controller gets an
+:class:`~repro.planning.IncrementalRepairPlanner`, everything else the
+historical :class:`~repro.planning.FullRebuildPlanner`.
 
 Epoch transport state comes in two flavors.  Cold (default,
 ``warm_epochs=False``): every epoch restarts
@@ -33,17 +45,24 @@ seeded RNGs (see :mod:`repro.runtime.scenarios`).
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
-from ..algorithms.acyclic_guarded import AcyclicSolution, acyclic_guarded_scheme
-from ..core.instance import Instance
-from ..core.scheme import BroadcastScheme
+from ..planning import (
+    Plan,
+    PlanCache,
+    PlanOutcome,
+    Planner,
+    make_planner,
+    planner_names,
+)
 from ..simulation.backends import BACKENDS
 from ..simulation.core import PacketSimEngine, available_backends
 from ..simulation.packet_sim import simulate_packet_broadcast
-from .events import DynamicPlatform, Event, EventQueue, NodeLeave
+from .events import DynamicPlatform, Event, EventQueue, NodeJoin, NodeLeave
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .controller import Controller
@@ -61,64 +80,9 @@ __all__ = [
 #: churn experiment has always used).
 RATE_BACKOFF = 1.0 - 1e-9
 
-
-class OverlayCache:
-    """Memoized Theorem 4.1 solver keyed on the canonical instance.
-
-    Churn revisits populations (a peer leaves and an identical one joins;
-    a batch sweep re-runs the same scenario under every controller), and
-    :class:`~repro.core.instance.Instance` is frozen/hashable, so a plain
-    dict turns repeated dichotomic searches into lookups.  Hit/miss
-    counters are surfaced in run results so sweeps can report how much
-    recomputation the cache absorbed.
-    """
-
-    def __init__(self, max_entries: int = 4096) -> None:
-        self._store: dict[Instance, AcyclicSolution] = {}
-        self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-
-    def solve(self, instance: Instance) -> AcyclicSolution:
-        sol = self._store.get(instance)
-        if sol is not None:
-            self.hits += 1
-            return sol
-        self.misses += 1
-        sol = acyclic_guarded_scheme(instance)
-        if len(self._store) >= self.max_entries:  # unbounded growth guard
-            self._store.clear()
-        self._store[instance] = sol
-        return sol
-
-    def optimal_rate(self, instance: Instance) -> float:
-        """``T*_ac`` of ``instance`` (through the same memo)."""
-        return self.solve(instance).throughput
-
-    def stats(self) -> tuple[int, int]:
-        return self.hits, self.misses
-
-
-@dataclass
-class Plan:
-    """An overlay the controller committed to, frozen at build time.
-
-    The scheme lives in the *canonical space* of ``instance``;
-    ``node_ids[k]`` maps canonical position ``k`` back to the external id
-    it was built for.  Peers that join later are simply absent — the
-    whole point of the runtime is measuring what that costs.
-    """
-
-    instance: Instance
-    scheme: BroadcastScheme
-    rate: float
-    word: str
-    node_ids: list[int]
-    built_at: int
-
-    @property
-    def size(self) -> int:
-        return len(self.node_ids)
+#: Back-compat name: the engine's memo moved to ``repro.planning`` (and
+#: gained real LRU eviction on the way — see :class:`PlanCache`).
+OverlayCache = PlanCache
 
 
 @dataclass
@@ -134,8 +98,12 @@ class EpochReport:
     mean_goodput: float
     starved: int  #: alive receivers below 50% of the planned rate
     unserved: int  #: alive receivers absent from the active plan
-    rebuilt: bool  #: controller installed a new plan at ``start``
+    rebuilt: bool  #: a new plan (build *or* repair) was installed at ``start``
     events: tuple[Event, ...] = ()  #: events applied at ``start``
+    plan_op: str = "keep"  #: ``"build"`` / ``"repair"`` / ``"keep"``
+    #: Planner wall time spent at this epoch's boundary (measurement
+    #: noise: excluded from equality, like ``RunSummary.wall_time``).
+    plan_seconds: float = field(default=0.0, compare=False)
 
     @property
     def slots(self) -> int:
@@ -163,12 +131,16 @@ class RunResult:
     controller: str
     horizon: int
     epochs: list[EpochReport]
-    rebuilds: int
-    repair_latencies: list[int]  #: slots from each departure to the next rebuild
+    rebuilds: int  #: full optimizations (initial build + rebuilds/fallbacks)
+    repair_latencies: list[int]  #: slots from each departure to the next plan
     cache_hits: int
     cache_misses: int
     seed: Optional[int] = None
     scenario: Optional[str] = None
+    planner: str = "full"  #: registry name of the planner that ran
+    repairs: int = 0  #: incremental deltas applied instead of rebuilds
+    repair_fallbacks: int = 0  #: repair attempts that fell back to a build
+    plan_seconds: float = 0.0  #: total wall time spent inside the planner
 
     def _weighted(self, attr: str) -> float:
         total = sum(e.slots for e in self.epochs)
@@ -220,13 +192,15 @@ class RuntimeEngine:
         horizon: int,
         *,
         seed: Optional[int] = 0,
-        cache: Optional[OverlayCache] = None,
+        cache: Optional[PlanCache] = None,
         packets_per_slot: float = 2.0,
         warmup_fraction: float = 0.3,
         min_epoch_slots: int = 1,
         sim_backend: str = "reference",
         warm_epochs: bool = False,
         sim_workers: Optional[int] = None,
+        planner: Union[str, Planner, None] = None,
+        repair_tolerance: Optional[float] = None,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -258,11 +232,26 @@ class RuntimeEngine:
                 f"worker support ('sharded', or 'auto' on decomposable "
                 f"schemes); {sim_backend!r} is single-threaded"
             )
+        if isinstance(planner, str) and planner not in planner_names():
+            raise ValueError(
+                f"unknown planner {planner!r} "
+                f"(known: {', '.join(planner_names())})"
+            )
+        if repair_tolerance is not None:
+            if not 0.0 <= repair_tolerance < 1.0:
+                raise ValueError(
+                    f"repair_tolerance must be in [0, 1), got {repair_tolerance}"
+                )
+            if planner == "full" or isinstance(planner, Planner):
+                raise ValueError(
+                    "repair_tolerance applies to the 'incremental' planner; "
+                    "configure an explicit planner instance directly"
+                )
         self.platform = platform
         self.queue = EventQueue(events)
         self.horizon = int(horizon)
         self.seed = seed
-        self.cache = cache if cache is not None else OverlayCache()
+        self.cache = cache if cache is not None else PlanCache()
         self._sim = _EpochSimParams(
             packets_per_slot=packets_per_slot,
             warmup_fraction=warmup_fraction,
@@ -273,26 +262,86 @@ class RuntimeEngine:
         self.sim_workers = sim_workers
         self._rng = random.Random(seed)
         self.now = 0
+        self._planner_spec = planner
+        self.repair_tolerance = repair_tolerance
+        # A concrete spec (instance or name) materializes eagerly; only
+        # ``None`` waits for run() to pair a default with the controller.
+        self.planner: Optional[Planner] = None
+        if isinstance(planner, Planner):
+            self.planner = planner
+        elif isinstance(planner, str):
+            self.planner = self._make_planner(planner)
+        #: The plan the run loop currently simulates (planner input).
+        self.active_plan: Optional[Plan] = None
+        #: Outcomes of planner calls not yet consumed by the run loop,
+        #: keyed by plan identity (controllers return bare plans).
+        self._pending: dict[int, PlanOutcome] = {}
         #: Warm-state carry-over: one live transport run per active plan.
         self._warm_sim: Optional[PacketSimEngine] = None
         self._warm_plan: Optional[Plan] = None
         self._warm_failed: set[int] = set()
 
     # ------------------------------------------------------------------
+    # Planner seam
+    # ------------------------------------------------------------------
+    def _make_planner(self, name: str) -> Planner:
+        kwargs = {}
+        if name == "incremental" and self.repair_tolerance is not None:
+            kwargs["tolerance"] = self.repair_tolerance
+        return make_planner(name, **kwargs)
+
+    def _resolve_planner(self, controller: "Controller") -> Planner:
+        """Default pairing for ``planner=None``, chosen per controller:
+        the ``incremental`` policy gets the incremental planner (honoring
+        ``repair_tolerance``), every other policy the full-rebuild one.
+        """
+        return self._make_planner(
+            "incremental" if controller.name == "incremental" else "full"
+        )
+
+    def _ensure_planner(self) -> Planner:
+        if self.planner is None:
+            self.planner = self._make_planner("full")
+        return self.planner
+
+    # ------------------------------------------------------------------
     # Controller-facing API
     # ------------------------------------------------------------------
     def build_plan(self) -> Plan:
-        """Optimize the current alive swarm into a fresh :class:`Plan`."""
-        instance, node_ids = self.platform.snapshot()
-        sol = self.cache.solve(instance)
-        return Plan(
-            instance=instance,
-            scheme=sol.scheme,
-            rate=sol.throughput,
-            word=sol.word,
-            node_ids=node_ids,
-            built_at=self.now,
+        """Fully optimize the current alive swarm into a fresh :class:`Plan`."""
+        planner = self._ensure_planner()
+        started = time.perf_counter()
+        plan = planner.build(self)
+        outcome = PlanOutcome(
+            plan, op="build", seconds=time.perf_counter() - started
         )
+        self._pending[id(plan)] = outcome
+        return plan
+
+    def replan(self, events: Iterable[Event]) -> Plan:
+        """Ask the planner to react to ``events`` on the active plan.
+
+        Returns the resulting plan — an incremental repair when the
+        planner managed one, a full rebuild otherwise (including the
+        degenerate case of no active plan yet).
+        """
+        if self.active_plan is None:
+            return self.build_plan()
+        planner = self._ensure_planner()
+        started = time.perf_counter()
+        outcome = planner.replan(self, self.active_plan, tuple(events))
+        outcome.seconds = time.perf_counter() - started
+        self._pending[id(outcome.plan)] = outcome
+        return outcome.plan
+
+    def _consume_outcome(self, plan: Plan) -> PlanOutcome:
+        """Accounting record for an installed plan (custom controllers may
+        hand the engine plans it never produced: count those as builds)."""
+        outcome = self._pending.pop(id(plan), None)
+        self._pending.clear()
+        if outcome is None:
+            outcome = PlanOutcome(plan, op="build")
+        return outcome
 
     # ------------------------------------------------------------------
     # Run loop
@@ -300,35 +349,57 @@ class RuntimeEngine:
     def run(self, controller: "Controller") -> RunResult:
         epochs: list[EpochReport] = []
         rebuilds = 0
+        repairs = 0
+        repair_fallbacks = 0
+        plan_seconds = 0.0
         repair_latencies: list[int] = []
-        pending_departures: list[int] = []  # departure times awaiting a rebuild
+        pending_departures: list[int] = []  # departure times awaiting a plan
+
+        if self.planner is None:
+            self.planner = self._resolve_planner(controller)
 
         initial = self.queue.pop_until(0)
-        for ev in initial:
-            self.platform.apply(ev)
+        initial = [self._apply_event(ev) for ev in initial]
         plan = controller.start(self)
+        outcome = self._consume_outcome(plan)
+        self.active_plan = plan
         rebuilds += 1  # the initial build counts as one optimization
+        plan_seconds += outcome.seconds
+        plan_op, op_seconds = "build", outcome.seconds
 
         fired: tuple[Event, ...] = tuple(initial)
         while self.now < self.horizon:
             end = self._epoch_end(controller)
             report = self._simulate_epoch(
-                plan, self.now, end, fired, rebuilt=(self.now == plan.built_at)
+                plan, self.now, end, fired,
+                rebuilt=(self.now == plan.built_at),
+                plan_op=plan_op if self.now == plan.built_at else "keep",
+                plan_seconds=op_seconds if self.now == plan.built_at else 0.0,
             )
             epochs.append(report)
             self.now = end
             if self.now >= self.horizon:
                 break
             popped = self.queue.pop_until(self.now)
+            applied = []
             for ev in popped:
-                self.platform.apply(ev)
+                ev = self._apply_event(ev)
+                applied.append(ev)
                 if isinstance(ev, NodeLeave):
                     pending_departures.append(ev.time)
-            fired = tuple(popped)
+            fired = tuple(applied)
             new_plan = controller.on_change(self, fired)
             if new_plan is not None:
                 plan = new_plan
-                rebuilds += 1
+                outcome = self._consume_outcome(plan)
+                self.active_plan = plan
+                if outcome.op == "repair":
+                    repairs += 1
+                else:
+                    rebuilds += 1
+                    repair_fallbacks += int(outcome.fallback)
+                plan_seconds += outcome.seconds
+                plan_op, op_seconds = outcome.op, outcome.seconds
                 repair_latencies.extend(
                     self.now - t for t in pending_departures
                 )
@@ -344,7 +415,19 @@ class RuntimeEngine:
             cache_hits=hits,
             cache_misses=misses,
             seed=self.seed,
+            planner=self.planner.name,
+            repairs=repairs,
+            repair_fallbacks=repair_fallbacks,
+            plan_seconds=plan_seconds,
         )
+
+    def _apply_event(self, ev: Event) -> Event:
+        """Apply one event; anonymous joins come back with their assigned
+        id resolved, so planners (and epoch reports) see concrete peers."""
+        assigned = self.platform.apply(ev)
+        if isinstance(ev, NodeJoin) and ev.node_id is None:
+            ev = dataclasses.replace(ev, node_id=assigned)
+        return ev
 
     def _epoch_end(self, controller: "Controller") -> int:
         """Next decision point: event, controller wake-up, or horizon.
@@ -377,6 +460,8 @@ class RuntimeEngine:
         events: tuple[Event, ...],
         *,
         rebuilt: bool,
+        plan_op: str = "keep",
+        plan_seconds: float = 0.0,
     ) -> EpochReport:
         alive = self.platform.alive_ids()
         optimal_rate = self.cache.optimal_rate(self.platform.snapshot()[0])
@@ -386,6 +471,7 @@ class RuntimeEngine:
                 planned_rate=plan.rate, optimal_rate=optimal_rate,
                 min_goodput=plan.rate, mean_goodput=plan.rate,
                 starved=0, unserved=0, rebuilt=rebuilt, events=events,
+                plan_op=plan_op, plan_seconds=plan_seconds,
             )
 
         goodput_by_id = dict.fromkeys(alive, 0.0)
@@ -438,6 +524,8 @@ class RuntimeEngine:
             unserved=sum(1 for i in alive if i not in planned_members),
             rebuilt=rebuilt,
             events=events,
+            plan_op=plan_op,
+            plan_seconds=plan_seconds,
         )
 
     def _warm_epoch_goodput(

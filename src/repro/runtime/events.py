@@ -29,7 +29,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
-from ..core.instance import Instance, NodeKind
+from ..core.instance import Instance, NodeKind, canonicalize_population
 
 __all__ = [
     "Event",
@@ -263,11 +263,4 @@ class DynamicPlatform:
             for i, s in sorted(self.nodes.items())
             if s.alive and s.kind == NodeKind.GUARDED
         ]
-        inst, perm = Instance.from_unsorted(
-            self.source_bw,
-            [bw for _, bw in opens],
-            [bw for _, bw in guardeds],
-        )
-        concat_ids = [0] + [i for i, _ in opens] + [i for i, _ in guardeds]
-        node_ids = [concat_ids[p] for p in perm]
-        return inst, node_ids
+        return canonicalize_population(self.source_bw, opens, guardeds)

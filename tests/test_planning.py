@@ -1,0 +1,477 @@
+"""Tests for :mod:`repro.planning` — the plan-lifecycle seam.
+
+Covers the LRU :class:`PlanCache` (the old ``OverlayCache`` guard wiped
+the whole memo on overflow), the resumable Lemma 4.6 packing state, the
+planner registry/engine injection, the incremental repair planner
+(validity, rate preservation, fallbacks), and the controller-registry
+round trips through pickled batch jobs.
+"""
+
+import pickle
+
+import pytest
+
+from repro import figure1_instance
+from repro.algorithms.acyclic_guarded import (
+    PackingState,
+    acyclic_guarded_scheme,
+    pack_word,
+    scheme_from_word,
+)
+from repro.cli import main
+from repro.core.instance import Instance
+from repro.planning import (
+    PLANNERS,
+    FullRebuildPlanner,
+    IncrementalRepairPlanner,
+    PlanCache,
+    make_planner,
+    planner_names,
+)
+from repro.runtime import (
+    CONTROLLERS,
+    BatchJob,
+    DynamicPlatform,
+    IncrementalController,
+    NodeJoin,
+    NodeLeave,
+    BandwidthDrift,
+    OverlayCache,
+    ReactiveController,
+    RuntimeEngine,
+    SteadyChurn,
+    make_controller,
+    run_batch,
+)
+
+
+class TestPlanCache:
+    def test_lru_eviction_keeps_hot_entries(self):
+        cache = PlanCache(max_entries=2)
+        a, b, c = (Instance(6.0, (float(k),), ()) for k in (1, 2, 3))
+        cache.solve(a)
+        cache.solve(b)
+        cache.solve(a)  # touch a: b becomes the LRU entry
+        cache.solve(c)  # evicts b only — the old guard cleared everything
+        assert a in cache and c in cache and b not in cache
+        assert len(cache) == 2
+
+    def test_hit_miss_eviction_counters(self):
+        cache = PlanCache(max_entries=2)
+        a, b, c = (Instance(6.0, (float(k),), ()) for k in (1, 2, 3))
+        for inst in (a, b, a, b, c, a):
+            cache.solve(inst)
+        stats = cache.counters()
+        # a, b miss; a, b hit; c misses and evicts a; a misses again.
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 4, 2)
+        assert cache.stats() == (2, 4)  # historical (hits, misses) shape
+        assert stats.hit_rate == pytest.approx(2 / 6)
+
+    def test_generic_keyed_entries(self):
+        cache = PlanCache(max_entries=4)
+        key = (Instance(6.0, (5.0,), ()), ("leave", 3))
+        assert cache.get(key) is None
+        cache.put(key, "delta-artifact")
+        assert cache.get(key) == "delta-artifact"
+
+    def test_stored_none_counts_as_a_hit(self):
+        cache = PlanCache(max_entries=4)
+        cache.put("refused-delta", None)  # memoized negative result
+        assert cache.get("refused-delta", default="miss") is None
+        assert cache.counters().hits == 1
+
+    def test_solve_returns_memoized_solution_with_packing(self, fig1):
+        cache = PlanCache()
+        sol = cache.solve(fig1)
+        assert sol is cache.solve(fig1)
+        assert sol.packing is not None
+        assert cache.stats() == (1, 1)
+
+    def test_overlay_cache_is_the_plan_cache(self):
+        assert OverlayCache is PlanCache
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestPackingState:
+    def test_pack_word_matches_scheme_from_word(self, fig1):
+        rate, word = 4.0, "gogog"
+        packed, state = pack_word(fig1, word, rate)
+        assert packed.isomorphic_rates(scheme_from_word(fig1, word, rate))
+        # Residual pools equal per-node spare upload: b_i - out_rate.
+        for node in range(fig1.num_nodes):
+            assert state.spare(node) == pytest.approx(
+                fig1.bandwidth(node) - packed.out_rate(node), abs=1e-9
+            )
+
+    def test_positions_follow_word_order(self, fig1):
+        _, state = pack_word(fig1, "gogog", 4.0)
+        # word "gogog" introduces: source, g3, o1, g4, o2, g5
+        assert [n for n, _ in sorted(state.position.items(), key=lambda kv: kv[1])] \
+            == [0, 3, 1, 4, 2, 5]
+
+    def test_credit_reinserts_in_position_order(self):
+        state = PackingState(tol=1e-9)
+        state.push(0, 2.0, open_=True)
+        state.push(1, 0.0, open_=True)  # drained entry: not in the pool
+        state.push(2, 1.0, open_=True)
+        state.credit(1, 3.0)
+        assert [n for n, _ in state.open_entries] == [0, 1, 2]
+        assert state.spare(1) == pytest.approx(3.0)
+
+    def test_draw_respects_position_bound(self):
+        state = PackingState(tol=1e-9)
+        state.push(0, 1.0, open_=True)
+        state.push(1, 5.0, open_=True)
+        edges = []
+        unmet = state.feed_open(
+            2, 2.0, lambda i, j, r: edges.append((i, j, r)),
+            before=state.position[1],
+        )
+        # Only node 0 (earlier than 1) may feed: 1.0 available, 1.0 unmet.
+        assert unmet == pytest.approx(1.0)
+        assert [(i, j) for i, j, _ in edges] == [(0, 2)]
+
+    def test_guarded_receiver_draws_open_credit_only(self):
+        state = PackingState(tol=1e-9)
+        state.push(0, 0.5, open_=True)
+        state.push(1, 5.0, open_=False)  # guarded spare: firewalled away
+        unmet = state.feed_guarded(2, 2.0, lambda *a: None)
+        assert unmet == pytest.approx(1.5)
+
+    def test_clone_is_independent(self, fig1):
+        _, state = pack_word(fig1, "gogog", 4.0)
+        dup = state.clone()
+        dup.credit(0, 10.0)
+        assert state.spare(0) != dup.spare(0)
+
+    def test_remap_translates_ids(self, fig1):
+        _, state = pack_word(fig1, "gogog", 4.0)
+        mapping = {k: k + 100 for k in range(fig1.num_nodes)}
+        remapped = state.remap(mapping)
+        assert set(remapped.position) == {k + 100 for k in range(6)}
+        assert remapped.spare(100) == pytest.approx(state.spare(0))
+
+    def test_zero_rate_packing_keeps_full_bandwidth_spare(self, fig1):
+        scheme, state = pack_word(fig1, "gogog", 0.0)
+        assert scheme.num_edges == 0
+        for node in range(fig1.num_nodes):
+            assert state.spare(node) == pytest.approx(fig1.bandwidth(node))
+
+
+class TestPlannerRegistry:
+    def test_registry_contents(self):
+        assert planner_names() == ["full", "incremental"]
+        assert PLANNERS["full"] is FullRebuildPlanner
+        assert PLANNERS["incremental"] is IncrementalRepairPlanner
+
+    def test_make_planner(self):
+        assert isinstance(make_planner("full"), FullRebuildPlanner)
+        planner = make_planner("incremental", tolerance=0.25)
+        assert planner.tolerance == 0.25
+        with pytest.raises(KeyError, match="unknown planner"):
+            make_planner("oracle")
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalRepairPlanner(tolerance=1.0)
+        with pytest.raises(ValueError):
+            IncrementalRepairPlanner(tolerance=-0.1)
+
+    def test_engine_validates_planner_spec(self, fig1):
+        platform = DynamicPlatform.from_instance(fig1)
+        with pytest.raises(ValueError, match="unknown planner"):
+            RuntimeEngine(platform, [], 100, planner="oracle")
+        with pytest.raises(ValueError, match="repair_tolerance"):
+            RuntimeEngine(platform, [], 100, repair_tolerance=1.5)
+        with pytest.raises(ValueError, match="repair_tolerance"):
+            RuntimeEngine(
+                platform, [], 100, planner="full", repair_tolerance=0.1
+            )
+
+    def test_planner_auto_resolution_pairs_with_controller(self, fig1):
+        def run(controller):
+            engine = RuntimeEngine(
+                DynamicPlatform.from_instance(fig1), [], 60, seed=0
+            )
+            result = engine.run(controller)
+            return result.planner
+
+        assert run(ReactiveController()) == "full"
+        assert run(IncrementalController()) == "incremental"
+
+    def test_explicit_planner_overrides_default(self, fig1):
+        engine = RuntimeEngine(
+            DynamicPlatform.from_instance(fig1), [], 60, seed=0,
+            planner="full",
+        )
+        assert engine.run(IncrementalController()).planner == "full"
+
+    def test_full_planner_keeps_historical_results(self, fig1):
+        """Extracted plan construction must reproduce pre-seam runs."""
+        def run(**kwargs):
+            engine = RuntimeEngine(
+                DynamicPlatform.from_instance(fig1),
+                [NodeLeave(time=30, node_id=1)], 60, seed=7, **kwargs,
+            )
+            return engine.run(ReactiveController())
+
+        assert run().epochs == run(planner="full").epochs
+
+
+def _steady_churn_run(controller, seed=4, **engine_kwargs):
+    run = SteadyChurn(size=20, horizon=240, join_rate=0.04,
+                      leave_rate=0.04).build(seed, name="steady-churn")
+    engine = RuntimeEngine(
+        run.platform, run.events, run.horizon, seed=seed, **engine_kwargs
+    )
+    return engine.run(controller)
+
+
+class TestIncrementalRepair:
+    """Acceptance: repaired epochs are valid and near-optimal."""
+
+    def test_leave_repair_produces_valid_plan(self):
+        inst = Instance(5.0, (9.0, 8.0, 7.0, 6.0), (5.0, 4.0))
+        platform = DynamicPlatform.from_instance(inst)
+        engine = RuntimeEngine(platform, [], 100, seed=0,
+                               planner="incremental")
+        planner = engine.planner
+        plan = engine.build_plan()
+        engine.active_plan = plan
+        platform.apply(NodeLeave(time=10, node_id=2))
+        engine.now = 10
+        outcome = planner.replan(engine, plan, (NodeLeave(time=10, node_id=2),))
+        assert outcome.op == "repair" and not outcome.fallback
+        repaired = outcome.plan
+        repaired.scheme.validate(repaired.instance, require_acyclic=True)
+        assert repaired.rate == plan.rate  # the kept rate is preserved
+        assert 2 not in repaired.node_ids
+        assert repaired.size == plan.size - 1
+        delta = outcome.delta
+        assert delta.departed == (2,)
+        assert delta.edges_removed > 0
+        # Orphans of the departed relay were re-fed, not dropped.
+        for k in repaired.instance.receivers():
+            assert repaired.scheme.in_rate(k) == pytest.approx(
+                repaired.rate, abs=1e-6
+            )
+
+    def test_join_attaches_new_leaf(self):
+        inst = Instance(5.0, (9.0, 8.0, 7.0), (5.0,))
+        platform = DynamicPlatform.from_instance(inst)
+        engine = RuntimeEngine(platform, [], 100, seed=0,
+                               planner="incremental")
+        planner = engine.planner
+        plan = engine.build_plan()
+        engine.active_plan = plan
+        ev = NodeJoin(time=5, kind="guarded", bandwidth=1.0, node_id=99)
+        platform.apply(ev)
+        engine.now = 5
+        outcome = planner.replan(engine, plan, (ev,))
+        assert outcome.op == "repair"
+        repaired = outcome.plan
+        repaired.scheme.validate(repaired.instance, require_acyclic=True)
+        assert 99 in repaired.node_ids
+        k = repaired.node_ids.index(99)
+        assert repaired.scheme.in_rate(k) == pytest.approx(
+            repaired.rate, abs=1e-6
+        )
+        assert outcome.delta.joined == (99,)
+
+    def test_drift_down_sheds_and_refeeds(self):
+        # Source-bound (T*_ac = 3), so every relay keeps plenty of spare
+        # upload: shedding the busiest relay's latest client must re-feed
+        # it from an *earlier* peer's spare credit, not fall back.
+        inst = Instance(3.0, (10.0, 10.0, 10.0), ())
+        platform = DynamicPlatform.from_instance(inst)
+        engine = RuntimeEngine(platform, [], 100, seed=0,
+                               planner="incremental")
+        planner = engine.planner
+        plan = engine.build_plan()
+        engine.active_plan = plan
+        # Find a relay that actually forwards, and halve its upload.
+        k = max(plan.instance.receivers(), key=plan.scheme.out_rate)
+        victim = plan.node_ids[k]
+        new_bw = plan.scheme.out_rate(k) / 2
+        ev = BandwidthDrift(time=8, node_id=victim, bandwidth=new_bw)
+        platform.apply(ev)
+        engine.now = 8
+        outcome = planner.replan(engine, plan, (ev,))
+        assert outcome.op == "repair"
+        repaired = outcome.plan
+        repaired.scheme.validate(repaired.instance, require_acyclic=True)
+        j = repaired.node_ids.index(victim)
+        assert repaired.scheme.out_rate(j) <= new_bw + 1e-6
+        for r in repaired.instance.receivers():
+            assert repaired.scheme.in_rate(r) == pytest.approx(
+                repaired.rate, abs=1e-6
+            )
+
+    def test_tight_instance_falls_back_to_rebuild(self, fig1):
+        """Figure 1 is saturated: no spare credit, repair must fall back."""
+        engine = RuntimeEngine(
+            DynamicPlatform.from_instance(fig1),
+            [NodeLeave(time=30, node_id=1)], 60, seed=5,
+        )
+        run = engine.run(IncrementalController())
+        assert run.repairs == 0
+        assert run.repair_fallbacks == 1
+        assert run.rebuilds == 2  # initial + fallback
+        after = run.epochs[-1]
+        assert after.min_goodput >= 0.9 * after.optimal_rate
+
+    def test_zero_tolerance_keeps_only_optimal_repairs(self):
+        strict = _steady_churn_run(
+            IncrementalController(), repair_tolerance=0.0
+        )
+        # Tolerance 0: a repair survives only when the kept rate clears
+        # the full Lemma 5.1 bound — every repaired epoch provisions at
+        # least the recomputed optimum.
+        repaired = [e for e in strict.epochs if e.plan_op == "repair"]
+        assert repaired  # the gate still lets optimal repairs through
+        for e in repaired:
+            assert e.planned_rate >= e.optimal_rate - 1e-9
+
+    def test_steady_churn_repairs_are_applied_and_near_optimal(self):
+        result = _steady_churn_run(IncrementalController())
+        assert result.planner == "incremental"
+        assert result.repairs > 0
+        repaired = [e for e in result.epochs if e.plan_op == "repair"]
+        assert repaired
+        for e in repaired:
+            # The degradation gate guarantees >= (1 - 0.1) x T* >= 0.9 x
+            # T*_ac of the epoch's alive swarm.
+            assert e.planned_rate >= 0.9 * e.optimal_rate - 1e-9
+
+    def test_incremental_matches_reactive_within_tolerance(self):
+        incremental = _steady_churn_run(IncrementalController())
+        reactive = _steady_churn_run(ReactiveController())
+        assert (
+            incremental.mean_optimality_fraction
+            >= 0.9 * reactive.mean_optimality_fraction
+        )
+
+    def test_incremental_run_is_seed_deterministic(self):
+        a = _steady_churn_run(IncrementalController(), seed=3)
+        b = _steady_churn_run(IncrementalController(), seed=3)
+        assert a.epochs == b.epochs
+        assert (a.repairs, a.repair_fallbacks) == (b.repairs, b.repair_fallbacks)
+
+    def test_repair_accounting_lands_in_epoch_reports(self):
+        result = _steady_churn_run(IncrementalController())
+        ops = {e.plan_op for e in result.epochs}
+        assert ops <= {"build", "repair", "keep"}
+        assert result.epochs[0].plan_op == "build"
+        installs = [e for e in result.epochs if e.plan_op != "keep"]
+        assert all(e.rebuilt for e in installs)
+        assert result.repairs == sum(
+            1 for e in result.epochs if e.plan_op == "repair"
+        )
+
+    def test_warm_epochs_compose_with_repair(self):
+        result = _steady_churn_run(IncrementalController(), warm_epochs=True,
+                                   sim_backend="auto")
+        assert result.repairs > 0
+
+
+class TestControllerRegistryRoundTrips:
+    """Satellite: every registered policy survives spec round trips."""
+
+    SPEC = SteadyChurn(size=8, horizon=100, join_rate=0.04, leave_rate=0.04)
+
+    def test_every_controller_is_constructible_by_name(self):
+        for name in CONTROLLERS:
+            controller = make_controller(name)
+            assert controller.name == name
+
+    def test_incremental_registered(self):
+        assert "incremental" in CONTROLLERS
+        assert isinstance(make_controller("incremental"),
+                          IncrementalController)
+
+    def test_jobs_for_every_controller_pickle(self):
+        for name in CONTROLLERS:
+            job = BatchJob.make(self.SPEC, name, 0,
+                                engine_kwargs={"repair_tolerance": 0.2})
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone == job
+
+    def test_every_controller_survives_serial_dispatch(self):
+        jobs = [BatchJob.make(self.SPEC, name, 0) for name in CONTROLLERS]
+        results = run_batch(jobs, mode="serial")
+        assert [r.controller for r in results] == list(CONTROLLERS)
+        incremental = next(r for r in results if r.controller == "incremental")
+        assert incremental.planner == "incremental"
+
+    def test_every_controller_survives_process_dispatch(self):
+        jobs = [BatchJob.make(self.SPEC, name, 0) for name in CONTROLLERS]
+        serial = run_batch(jobs, mode="serial")
+        pooled = run_batch(jobs, max_workers=2, mode="process")
+        assert serial == pooled
+
+    def test_repair_tolerance_travels_through_jobs(self):
+        summary = run_batch(
+            [BatchJob.make(self.SPEC, "incremental", 0,
+                           engine_kwargs={"repair_tolerance": 0.0})],
+            mode="serial",
+        )[0]
+        run = self.SPEC.build(0, name="SteadyChurn")
+        engine = RuntimeEngine(
+            run.platform, run.events, run.horizon, seed=0,
+            repair_tolerance=0.0,
+        )
+        direct = engine.run(make_controller("incremental"))
+        assert summary.planner == "incremental"
+        assert (summary.rebuilds, summary.repairs, summary.repair_fallbacks) \
+            == (direct.rebuilds, direct.repairs, direct.repair_fallbacks)
+
+
+class TestPlanningCli:
+    def test_planner_flag_runs(self, capsys):
+        rc = main(["runtime", "--scenario", "steady-churn",
+                   "--controller", "incremental", "--seed", "4",
+                   "--repair-tolerance", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planner=incremental" in out and "repairs=" in out
+
+    def test_full_planner_with_incremental_controller(self, capsys):
+        rc = main(["runtime", "--scenario", "rack-failure", "--seed", "2",
+                   "--controller", "incremental", "--planner", "full"])
+        assert rc == 0
+        assert "planner=full" in capsys.readouterr().out
+
+    def test_unknown_planner_fails_cleanly(self, capsys):
+        assert main(["runtime", "--planner", "oracle"]) == 2
+        assert "unknown planner" in capsys.readouterr().err
+
+    def test_bad_tolerance_fails_cleanly(self, capsys):
+        assert main(["runtime", "--repair-tolerance", "1.2"]) == 2
+        assert "--repair-tolerance" in capsys.readouterr().err
+
+    def test_tolerance_with_full_planner_fails_cleanly(self, capsys):
+        rc = main(["runtime", "--planner", "full",
+                   "--repair-tolerance", "0.1"])
+        assert rc == 2
+        assert "incremental" in capsys.readouterr().err
+
+    def test_list_includes_planners(self, capsys):
+        assert main(["runtime", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "planners" in out and "incremental" in out
+
+    def test_help_lists_registries_dynamically(self):
+        """`repro runtime --help` reflects the live registries."""
+        from repro.cli import build_parser
+        from repro.runtime import controller_names, planner_names
+
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        text = subparsers.choices["runtime"].format_help()
+        for name in controller_names():
+            assert name in text
+        for name in planner_names():
+            assert name in text
