@@ -120,9 +120,12 @@ from .core import (
     word_trace,
 )
 from .estimation import (
+    EstimatedPlatformView,
     LastMileEstimate,
     LastMileGroundTruth,
     Measurement,
+    OnlineEstimator,
+    ProbeScheduler,
     estimate_lastmile,
     sample_measurements,
 )
@@ -343,6 +346,9 @@ __all__ = [
     # estimation
     "LastMileGroundTruth",
     "Measurement",
+    "ProbeScheduler",
+    "OnlineEstimator",
+    "EstimatedPlatformView",
     "sample_measurements",
     "estimate_lastmile",
     "LastMileEstimate",

@@ -8,6 +8,11 @@ from .depth import (
     depth_ablation,
     depth_aware_scheme_from_word,
 )
+from .estimation_gap import (
+    EstimationGapRow,
+    estimated_plan_outcome,
+    estimation_gap_experiment,
+)
 from .metrics import SchemeStats, compare_stats, scheme_depths, scheme_stats
 from .robustness import (
     RobustnessReport,
@@ -25,6 +30,9 @@ __all__ = [
     "DepthAblationRow",
     "churn_experiment",
     "ChurnReport",
+    "estimation_gap_experiment",
+    "estimated_plan_outcome",
+    "EstimationGapRow",
     "perturbation_experiment",
     "clip_to_capacities",
     "RobustnessReport",

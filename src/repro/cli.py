@@ -11,6 +11,7 @@ Usage::
     python -m repro demo
     python -m repro runtime --scenario steady-churn --controller reactive
     python -m repro runtime --batch --scenario rack-failure
+    python -m repro runtime --estimation online --probes-per-node 4
 
 ``--full`` switches the sweeps to paper scale (equivalent to
 ``REPRO_FULL=1``).  ``solve`` runs the whole pipeline on an ad-hoc
@@ -132,6 +133,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "transport cold each epoch (short epochs "
                               "then measure real transients, not "
                               "ramp-ups)")
+    runtime.add_argument("--estimation", default="oracle",
+                         choices=["oracle", "online"],
+                         help="bandwidth feed for the controllers: "
+                              "'oracle' reads the platform's true "
+                              "bandwidths, 'online' plans on LastMile "
+                              "estimates re-fit every epoch from seeded "
+                              "sparse pairwise probes (repro.estimation."
+                              "online), with planned rates clipped to "
+                              "true capacities in the transport")
+    runtime.add_argument("--probes-per-node", type=float, default=4.0,
+                         metavar="K",
+                         help="probe budget per epoch boundary: "
+                              "round(K * num_alive) directed pairs "
+                              "(--estimation online only)")
+    runtime.add_argument("--noise-sigma", type=float, default=0.1,
+                         metavar="SIGMA",
+                         help="log-normal measurement noise scale of each "
+                              "probe (--estimation online only)")
+    runtime.add_argument("--estimator-decay", type=float, default=0.8,
+                         metavar="D",
+                         help="per-round exponential decay of stale "
+                              "probes; a measurement is dropped once "
+                              "D**age falls below 0.05 "
+                              "(--estimation online only)")
     runtime.add_argument("--list", action="store_true", dest="list_names",
                          help="list registered scenarios and controllers")
     return parser
@@ -192,11 +217,13 @@ def _cmd_ablations() -> int:
     from .analysis import (
         churn_experiment,
         depth_ablation,
+        estimation_gap_experiment,
         perturbation_experiment,
     )
     from .experiments.ablations import (
         baseline_comparison,
         cyclic_gain,
+        estimation_ablation,
         greedy_vs_exhaustive,
         packing_degree_ablation,
         repair_tolerance_ablation,
@@ -274,6 +301,38 @@ def _cmd_ablations() -> int:
                 [r.tolerance, r.rebuilds, r.repairs, r.fallbacks,
                  f"{r.mean_optimality:.3f}", f"{1000 * r.plan_seconds:.1f}"]
                 for r in repair_tolerance_ablation()
+            ],
+        )
+    )
+    print()
+    print("Estimation gap (overlay built on probed bandwidths, clipped to "
+          "truth; flow-level):")
+    print(
+        format_table(
+            ["probes/node", "sigma", "oracle", "planned", "achieved",
+             "gap", "median err"],
+            [
+                [r.probes_per_node, r.noise_sigma, f"{r.oracle_rate:.2f}",
+                 f"{r.planned_rate:.2f}", f"{r.achieved_rate:.2f}",
+                 f"{r.gap:.3f}", f"{r.median_rel_error:.3f}"]
+                for r in estimation_gap_experiment(
+                    budgets=(8.0, 4.0, 1.0), sigmas=(0.05, 0.1, 0.3)
+                )
+            ],
+        )
+    )
+    print()
+    print("Estimation in the loop (steady churn, reactive controller, "
+          "oracle vs measured bandwidths):")
+    print(
+        format_table(
+            ["estimation", "probes/node", "mean opt", "mean dlv",
+             "probes", "est err"],
+            [
+                [r.estimation, r.probes_per_node,
+                 f"{r.mean_optimality:.3f}", f"{r.mean_delivered:.3f}",
+                 r.probes, f"{r.est_error:.3f}"]
+                for r in estimation_ablation()
             ],
         )
     )
@@ -436,6 +495,26 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.probes_per_node < 0:
+        print(
+            f"error: --probes-per-node must be >= 0, "
+            f"got {args.probes_per_node}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.noise_sigma < 0:
+        print(
+            f"error: --noise-sigma must be >= 0, got {args.noise_sigma}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 < args.estimator_decay <= 1.0:
+        print(
+            f"error: --estimator-decay must be in (0, 1], "
+            f"got {args.estimator_decay}",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers is not None and args.workers < 1:
         print(
             f"error: --workers must be >= 1, got {args.workers}",
@@ -469,6 +548,10 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             warm_epochs=args.warm_epochs,
             planner=args.planner,
             repair_tolerance=args.repair_tolerance,
+            estimation=args.estimation,
+            probes_per_node=args.probes_per_node,
+            estimator_decay=args.estimator_decay,
+            noise_sigma=args.noise_sigma,
         )
         print(
             f"sweep: {args.scenario} x {{{', '.join(controller_names())}}} "
@@ -501,6 +584,10 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         sim_workers=args.workers,
         planner=args.planner,
         repair_tolerance=args.repair_tolerance,
+        estimation=args.estimation,
+        probes_per_node=args.probes_per_node,
+        estimator_decay=args.estimator_decay,
+        noise_sigma=args.noise_sigma,
     )
     result = engine.run(controller)
     print(
@@ -535,6 +622,15 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         f"overlay cache={result.cache_hits}/"
         f"{result.cache_hits + result.cache_misses}"
     )
+    if result.estimation == "online":
+        err = result.mean_estimation_error
+        print(
+            f"estimation=online  probes={result.probes} "
+            f"({args.probes_per_node:g}/node/epoch, "
+            f"sigma={args.noise_sigma:g})  "
+            f"mean est error="
+            f"{'-' if err is None else f'{err:.3f}'}"
+        )
     return 0
 
 

@@ -25,14 +25,40 @@ reasonable accuracy, which the tests quantify on synthetic ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
 from ..core.exceptions import EstimationError
 from .measurements import Measurement
 
-__all__ = ["LastMileEstimate", "estimate_lastmile"]
+__all__ = [
+    "LastMileEstimate",
+    "estimate_lastmile",
+    "guarded_relative_errors",
+]
+
+
+def guarded_relative_errors(
+    estimates: Sequence[float], truth: Sequence[float]
+) -> np.ndarray:
+    """Per-node relative error of ``estimates`` against ``truth``.
+
+    Nodes whose true bandwidth is 0 (dead uplinks) have no relative
+    scale: a wrong estimate there is reported as ``inf`` (and an exact
+    0 estimate as 0.0), never silently as 0.0 — otherwise an estimator
+    that hallucinates capacity on dead uplinks would look perfect to
+    every error aggregate.  Shared by the offline diagnostic
+    (:meth:`LastMileEstimate.relative_out_errors`) and the online
+    view's self-scoring
+    (:meth:`~repro.estimation.online.EstimatedPlatformView.relative_errors`),
+    so the dead-uplink policy cannot drift between them.
+    """
+    t = np.asarray(truth, dtype=float)
+    e = np.asarray(estimates, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(t > 0, np.abs(e - t) / t, 0.0)
+    return np.where((t <= 0) & (e > 0), np.inf, rel)
 
 
 @dataclass(frozen=True)
@@ -50,11 +76,10 @@ class LastMileEstimate:
     def relative_out_errors(
         self, truth_out: Sequence[float]
     ) -> np.ndarray:
-        """Per-node relative error against a known ground truth."""
-        truth = np.asarray(truth_out, dtype=float)
-        est = np.asarray(self.b_out)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(truth > 0, np.abs(est - truth) / truth, 0.0)
+        """Per-node relative error against a known ground truth
+        (inf-guarded on dead uplinks — see
+        :func:`guarded_relative_errors`)."""
+        return guarded_relative_errors(self.b_out, truth_out)
 
 
 def estimate_lastmile(
@@ -63,14 +88,33 @@ def estimate_lastmile(
     *,
     iterations: int = 6,
     quantile: float = 0.85,
+    unmeasured: Union[str, float] = "raise",
 ) -> LastMileEstimate:
     """Fit LastMile parameters to sparse pairwise measurements.
 
-    Raises :class:`EstimationError` when some node has no outgoing
-    measurement at all (its ``b_out`` would be unconstrained).
+    ``unmeasured`` controls what happens to nodes with no outgoing
+    measurement at all (their ``b_out`` is unconstrained by the data —
+    possible at low ``pairs_per_node``, and routine in the online loop
+    when a peer joins between probe rounds):
+
+    * ``"raise"`` (default, the historical contract): raise
+      :class:`EstimationError`;
+    * ``"median"``: impute the median of the *fitted* ``b_out`` over the
+      measured nodes — the population prior, computed after the
+      alternating fit so imputed nodes never distort it;
+    * a float: impute that value directly (an external prior, e.g. the
+      advertised class bandwidth).
+
+    Unmeasured nodes are excluded from the alternating fit either way;
+    only their final ``b_out`` entry is imputed.
     """
     if not measurements:
         raise EstimationError("no measurements supplied")
+    if isinstance(unmeasured, str) and unmeasured not in ("raise", "median"):
+        raise ValueError(
+            f"unmeasured must be 'raise', 'median' or a float, "
+            f"got {unmeasured!r}"
+        )
     out_obs: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
     in_obs: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
     for msr in measurements:
@@ -80,14 +124,34 @@ def estimate_lastmile(
             raise EstimationError(f"negative measurement: {msr}")
         out_obs[msr.source].append((msr.target, msr.value))
         in_obs[msr.target].append((msr.source, msr.value))
-    for i, obs in enumerate(out_obs):
-        if not obs:
-            raise EstimationError(f"node {i} has no outgoing measurement")
+    unmeasured_nodes = [i for i, obs in enumerate(out_obs) if not obs]
+    if unmeasured_nodes and unmeasured == "raise":
+        raise EstimationError(
+            f"node {unmeasured_nodes[0]} has no outgoing measurement"
+        )
 
-    b_out = np.array([max(v for _, v in obs) for obs in out_obs])
+    # Initialise at the *quantile*, not the max, of each node's
+    # observations.  The max is exact on noiseless data but
+    # self-reinforcing under noise: the single largest noisy probe
+    # ``(i, j)`` seeds both ``b_out_i`` and ``b_in_j`` with the same
+    # inflated value, so the "unexplained" filter below keeps that pair
+    # as its own justification forever and the node's estimate never
+    # recovers — the more probes, the worse the max-envelope bias.  The
+    # quantile init is still exact on noiseless sender-limited data
+    # (every sender-limited observation equals ``b_out_i``, so any
+    # quantile that lands on that mass returns it) while a lone outlier
+    # can no longer anchor the fit.
+    b_out = np.array(
+        [
+            float(np.quantile([v for _, v in obs], quantile)) if obs else 0.0
+            for obs in out_obs
+        ]
+    )
     b_in = np.array(
         [
-            max((v for _, v in obs), default=float("inf"))
+            float(np.quantile([v for _, v in obs], quantile))
+            if obs
+            else float("inf")
             for obs in in_obs
         ]
     )
@@ -97,6 +161,8 @@ def estimate_lastmile(
         # the binding side; fall back to all pairs when none qualify.
         new_out = b_out.copy()
         for i, obs in enumerate(out_obs):
+            if not obs:
+                continue
             unexplained = [v for j, v in obs if b_in[j] >= b_out[i]]
             sample = unexplained if unexplained else [v for _, v in obs]
             new_out[i] = float(np.quantile(sample, quantile))
@@ -108,6 +174,24 @@ def estimate_lastmile(
             sample = unexplained if unexplained else [v for _, v in obs]
             new_in[j] = float(np.quantile(sample, quantile))
         b_out, b_in = new_out, new_in
+
+    if unmeasured_nodes:
+        skip = set(unmeasured_nodes)
+        measured = [b_out[i] for i in range(num_nodes) if i not in skip]
+        if unmeasured == "median":
+            if not measured:
+                raise EstimationError(
+                    "no node has an outgoing measurement; cannot impute"
+                )
+            fill = float(np.median(measured))
+        else:
+            fill = float(unmeasured)
+            if fill < 0:
+                raise ValueError(
+                    f"unmeasured fill value must be >= 0, got {fill}"
+                )
+        for i in unmeasured_nodes:
+            b_out[i] = fill
 
     # Fit diagnostic: multiplicative residuals over all measured pairs.
     logs = []

@@ -18,11 +18,16 @@ known ground truth:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["LastMileGroundTruth", "Measurement", "sample_measurements"]
+__all__ = [
+    "LastMileGroundTruth",
+    "Measurement",
+    "pair_noise",
+    "sample_measurements",
+]
 
 
 @dataclass(frozen=True)
@@ -70,8 +75,34 @@ class LastMileGroundTruth:
         )
 
 
+#: Stream-domain tags keeping the per-pair noise streams disjoint from
+#: the per-node target-selection streams when both derive from one seed.
+_PAIR_DOMAIN = 0x9E37
+_TARGET_DOMAIN = 0x79B9
+
+
+def pair_noise(
+    seed: int, source: int, target: int, noise_sigma: float, round_: int = 0
+) -> float:
+    """The multiplicative log-normal noise of one seeded probe.
+
+    Every ``(seed, round, source, target)`` tuple owns an independent
+    counter-based stream, so the noise applied to a pair never depends on
+    *which other pairs* the caller happened to sample — the property that
+    keeps sparse probing deterministic across batch shards and
+    process-pool dispatch (the same mode-independence guarantee the
+    runtime engine makes for its simulation seeds).
+    """
+    if noise_sigma == 0.0:
+        return 1.0
+    stream = np.random.default_rng(
+        (_PAIR_DOMAIN, seed, round_, source, target)
+    )
+    return float(np.exp(stream.normal(0.0, noise_sigma)))
+
+
 def sample_measurements(
-    rng: np.random.Generator,
+    rng: Union[np.random.Generator, int],
     truth: LastMileGroundTruth,
     pairs_per_node: int = 8,
     noise_sigma: float = 0.1,
@@ -81,17 +112,37 @@ def sample_measurements(
     Each node probes ``pairs_per_node`` distinct random targets; the
     reported value is the LastMile pair bandwidth with multiplicative
     log-normal noise ``exp(N(0, noise_sigma^2))``.
+
+    ``rng`` may be a shared :class:`numpy.random.Generator` (the
+    historical API: one sequential stream, so the value drawn for a pair
+    depends on every draw before it) or an ``int`` seed.  With a seed,
+    target selection and probe noise derive from *per-node and per-pair*
+    counter-based streams (:func:`pair_noise`): repeated calls with the
+    same seed report bit-identical values for every pair they have in
+    common, even when ``pairs_per_node`` or the sampled subsets differ —
+    which is what lets the batch runner fan measurement sampling across
+    worker processes without mode-dependent results.
     """
     num = truth.num_nodes
     if num < 2:
         raise ValueError("need at least two nodes to measure pairs")
     k = min(pairs_per_node, num - 1)
+    seeded = not isinstance(rng, np.random.Generator)
+    seed = int(rng) if seeded else 0
     measurements: list[Measurement] = []
     for i in range(num):
         others = np.array([j for j in range(num) if j != i])
-        targets = rng.choice(others, size=k, replace=False)
-        for j in targets:
-            noiseless = truth.pair_bandwidth(i, int(j))
-            noise = float(np.exp(rng.normal(0.0, noise_sigma)))
-            measurements.append(Measurement(i, int(j), noiseless * noise))
+        node_rng = (
+            np.random.default_rng((_TARGET_DOMAIN, seed, i)) if seeded else rng
+        )
+        targets = node_rng.choice(others, size=k, replace=False)
+        for j in sorted(int(t) for t in targets) if seeded else targets:
+            j = int(j)
+            noiseless = truth.pair_bandwidth(i, j)
+            noise = (
+                pair_noise(seed, i, j, noise_sigma)
+                if seeded
+                else float(np.exp(rng.normal(0.0, noise_sigma)))
+            )
+            measurements.append(Measurement(i, j, noiseless * noise))
     return measurements

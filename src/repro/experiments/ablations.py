@@ -21,6 +21,12 @@ one design decision of the system and quantifies what it buys.
 * :func:`repair_tolerance_ablation` — the incremental planner's
   degradation tolerance swept on a steady-churn trace: how much
   optimality a looser tolerance trades for fewer full rebuilds.
+* :func:`estimation_ablation` — the same steady-churn trace replayed
+  with controllers planning on oracle vs *measured* bandwidths
+  (``estimation="online"``) at several probe budgets: what the
+  measurement loop costs end to end, churn included (the flow-level
+  probe-budget x noise sweep lives in
+  :mod:`repro.analysis.estimation_gap`).
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ __all__ = [
     "simulation_backend_ablation",
     "RepairToleranceRow",
     "repair_tolerance_ablation",
+    "EstimationRow",
+    "estimation_ablation",
 ]
 
 
@@ -452,6 +460,72 @@ def repair_tolerance_ablation(
                 fallbacks=result.repair_fallbacks,
                 mean_optimality=result.mean_optimality_fraction,
                 plan_seconds=result.plan_seconds,
+            )
+        )
+    return rows
+
+
+@dataclass
+class EstimationRow:
+    """One bandwidth-feed setting of the runtime loop on steady churn."""
+
+    estimation: str  #: ``"oracle"`` or ``"online"``
+    probes_per_node: float  #: probe budget (0 for the oracle row)
+    mean_optimality: float  #: slot-weighted delivered-vs-``T*_ac``
+    mean_delivered: float  #: slot-weighted delivered-vs-planned
+    probes: int  #: total probes the run paid for
+    #: Slot-weighted mean of per-epoch median estimation errors
+    #: (0.0 for the oracle row).
+    est_error: float
+
+
+def estimation_ablation(
+    budgets: tuple[float, ...] = (8.0, 4.0, 1.0),
+    size: int = 20,
+    horizon: int = 240,
+    seed: int = 31,
+    noise_sigma: float = 0.1,
+) -> list[EstimationRow]:
+    """Oracle vs estimated planning through the full runtime loop.
+
+    One steady-churn trace replayed under the reactive controller: once
+    with oracle bandwidths, then with the measurement loop at each probe
+    budget.  Same engine seed throughout, and probes never touch the
+    simulation RNG, so every difference is estimation error — the gap
+    vs the oracle row is the end-to-end (churn included) analogue of the
+    flow-level sweep in
+    :func:`repro.analysis.estimation_gap.estimation_gap_experiment`.
+    """
+    from ..planning import PlanCache
+    from ..runtime import ReactiveController, RuntimeEngine, SteadyChurn
+
+    spec = SteadyChurn(
+        size=size, horizon=horizon, join_rate=0.02, leave_rate=0.02
+    )
+    rows = []
+    settings = [("oracle", 0.0)] + [("online", b) for b in budgets]
+    for estimation, budget in settings:
+        run = spec.build(seed, name="steady-churn")
+        engine = RuntimeEngine(
+            run.platform,
+            run.events,
+            run.horizon,
+            seed=seed,
+            cache=PlanCache(),  # fresh memo: estimated instances never repeat
+            sim_backend="auto",
+            estimation=estimation,
+            probes_per_node=budget,
+            noise_sigma=noise_sigma,
+        )
+        result = engine.run(ReactiveController())
+        rows.append(
+            EstimationRow(
+                estimation=estimation,
+                probes_per_node=budget,
+                mean_optimality=result.mean_optimality_fraction,
+                mean_delivered=result.mean_delivered_fraction,
+                probes=result.probes,
+                est_error=result.mean_estimation_error or 0.0,
             )
         )
     return rows

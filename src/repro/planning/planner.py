@@ -64,8 +64,14 @@ class FullRebuildPlanner(Planner):
 
     def _build_with_solution(self, engine: "RuntimeEngine"):
         """``(plan, AcyclicSolution)`` — subclasses also need the
-        solution's residual packing state, without a second memo hit."""
-        instance, node_ids = engine.platform.snapshot()
+        solution's residual packing state, without a second memo hit.
+
+        Planners read ``engine.view``, not the platform directly: in
+        oracle mode that *is* the platform, under ``estimation="online"``
+        it is the estimated facade — either way the same snapshot
+        contract, so the whole planning stack is estimation-agnostic.
+        """
+        instance, node_ids = engine.view.snapshot()
         sol = engine.cache.solve(instance)
         plan = Plan(
             instance=instance,

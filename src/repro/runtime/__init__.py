@@ -24,7 +24,10 @@ Layout:
 Plan construction itself (the Theorem 4.1 pipeline, the LRU
 :class:`~repro.planning.PlanCache`, incremental repair) lives in
 :mod:`repro.planning`; ``OverlayCache`` and ``Plan`` remain importable
-from here for backward compatibility.
+from here for backward compatibility.  The measurement loop that lets
+controllers plan on *estimated* rather than oracle bandwidths
+(``RuntimeEngine(estimation="online")``) lives in
+:mod:`repro.estimation.online` and plugs in through ``engine.view``.
 """
 
 from ..planning import (

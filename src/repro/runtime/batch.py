@@ -106,6 +106,12 @@ class RunSummary:
     planner: str = "full"
     repairs: int = 0  #: incremental deltas applied instead of rebuilds
     repair_fallbacks: int = 0  #: repair attempts that fell back to a build
+    estimation: str = "oracle"  #: bandwidth feed the controllers planned on
+    probes: int = 0  #: pairwise probes the run paid for
+    #: Slot-weighted mean of per-epoch median estimation errors (None in
+    #: oracle mode).  Probe values are seeded per pair, so this is as
+    #: deterministic as the measurements and participates in equality.
+    estimation_error: Optional[float] = None
     #: Cache traffic this job generated.  Excluded from equality along
     #: with the wall times: the warm state of a worker's cache depends on
     #: which jobs it happened to run before this one, so these vary
@@ -138,6 +144,13 @@ class RunSummary:
             planner=result.planner,
             repairs=result.repairs,
             repair_fallbacks=result.repair_fallbacks,
+            estimation=result.estimation,
+            probes=result.probes,
+            estimation_error=(
+                None
+                if result.mean_estimation_error is None
+                else round(result.mean_estimation_error, 9)
+            ),
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
             wall_time=wall_time,
@@ -232,6 +245,10 @@ def scenario_grid(
     warm_epochs: Optional[bool] = None,
     planner: Optional[str] = None,
     repair_tolerance: Optional[float] = None,
+    estimation: Optional[str] = None,
+    probes_per_node: Optional[float] = None,
+    estimator_decay: Optional[float] = None,
+    noise_sigma: Optional[float] = None,
 ) -> list[BatchJob]:
     """The full cross product as a job list (seed-major, stable order).
 
@@ -245,6 +262,11 @@ def scenario_grid(
     keeps the per-controller default: incremental for the
     ``incremental`` policy, full rebuild otherwise) — all of which
     travel inside the picklable job specs like any other engine knob.
+    So are the measurement-loop knobs ``estimation`` /
+    ``probes_per_node`` / ``estimator_decay`` / ``noise_sigma`` (see
+    :mod:`repro.estimation.online`): probe values derive from per-pair
+    counter-based streams, so estimated sweeps stay bit-identical across
+    execution modes like everything else.
     """
     controller_kwargs = controller_kwargs or {}
     engine_kwargs = dict(engine_kwargs or {})
@@ -256,6 +278,14 @@ def scenario_grid(
         engine_kwargs["planner"] = planner
     if repair_tolerance is not None:
         engine_kwargs["repair_tolerance"] = repair_tolerance
+    if estimation is not None:
+        engine_kwargs["estimation"] = estimation
+    if probes_per_node is not None:
+        engine_kwargs["probes_per_node"] = probes_per_node
+    if estimator_decay is not None:
+        engine_kwargs["estimator_decay"] = estimator_decay
+    if noise_sigma is not None:
+        engine_kwargs["noise_sigma"] = noise_sigma
     return [
         BatchJob.make(
             scenario,
@@ -284,6 +314,9 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
             f"{r.mean_optimality:.3f}",
             "-" if r.mean_repair_latency is None else f"{r.mean_repair_latency:.1f}",
             r.final_alive,
+            r.estimation,
+            r.probes,
+            "-" if r.estimation_error is None else f"{r.estimation_error:.3f}",
             f"{r.cache_hits}/{r.cache_hits + r.cache_misses}",
         ]
         for r in results
@@ -292,7 +325,7 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
         [
             "scenario", "controller", "seed", "rebuilds", "repairs",
             "mean dlv", "worst dlv", "mean opt", "repair lat", "alive",
-            "cache",
+            "estim", "probes", "est err", "cache",
         ],
         rows,
     )

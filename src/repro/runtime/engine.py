@@ -38,9 +38,28 @@ but short epochs then measure ramp-up artifacts.  Warm
 buffers/credits/RNG across epochs, departures are injected mid-stream at
 the slot they happen, and only rebuilds restart the transport.
 
+With ``estimation="online"`` the engine closes the paper's Section II-C
+measurement loop: at every epoch boundary a
+:class:`~repro.estimation.online.ProbeScheduler` issues seeded sparse
+pairwise probes against the live platform, an
+:class:`~repro.estimation.online.OnlineEstimator` folds them (with
+exponential decay and churn-delta purges) into LastMile estimates, and
+the resulting :class:`~repro.estimation.online.EstimatedPlatformView`
+is what planners consult through :attr:`RuntimeEngine.view` — the
+controller re-optimizes on *measured*, not oracle, bandwidths.  The
+epoch transport stays honest: planned edge rates are clipped to the
+*true* capacities of the plan's members (the QoS-limiter model of
+:func:`~repro.analysis.robustness.clip_to_capacities`), so
+overestimated uplinks under-deliver exactly as they would in the field,
+while ``optimal_rate`` keeps scoring epochs against the oracle optimum.
+Per-epoch probe counts and estimation errors land in
+:class:`EpochReport`; probes never touch the engine's simulation RNG,
+so oracle and estimated runs of the same seed share transport noise.
+
 Everything is reproducible end to end: one ``seed`` drives the engine's
-per-epoch simulation seeds, and scenario generators receive their own
-seeded RNGs (see :mod:`repro.runtime.scenarios`).
+per-epoch simulation seeds, scenario generators receive their own
+seeded RNGs (see :mod:`repro.runtime.scenarios`), and probe values
+derive from per-pair counter-based streams.
 """
 
 from __future__ import annotations
@@ -51,6 +70,11 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
+from ..estimation.online import (
+    EstimatedPlatformView,
+    OnlineEstimator,
+    ProbeScheduler,
+)
 from ..planning import (
     Plan,
     PlanCache,
@@ -104,6 +128,10 @@ class EpochReport:
     #: Planner wall time spent at this epoch's boundary (measurement
     #: noise: excluded from equality, like ``RunSummary.wall_time``).
     plan_seconds: float = field(default=0.0, compare=False)
+    probes: int = 0  #: pairwise probes issued at this epoch's boundary
+    #: Median relative error of the estimated view vs the oracle at the
+    #: boundary (None when estimation is off or no receiver is alive).
+    estimation_error: Optional[float] = None
 
     @property
     def slots(self) -> int:
@@ -141,6 +169,8 @@ class RunResult:
     repairs: int = 0  #: incremental deltas applied instead of rebuilds
     repair_fallbacks: int = 0  #: repair attempts that fell back to a build
     plan_seconds: float = 0.0  #: total wall time spent inside the planner
+    estimation: str = "oracle"  #: bandwidth feed: ``"oracle"`` / ``"online"``
+    probes: int = 0  #: total pairwise probes the run paid for
 
     def _weighted(self, attr: str) -> float:
         total = sum(e.slots for e in self.epochs)
@@ -172,6 +202,19 @@ class RunResult:
             return None
         return sum(self.repair_latencies) / len(self.repair_latencies)
 
+    @property
+    def mean_estimation_error(self) -> Optional[float]:
+        """Slot-weighted mean of per-epoch median estimation errors."""
+        scored = [
+            e for e in self.epochs if e.estimation_error is not None
+        ]
+        total = sum(e.slots for e in scored)
+        if total == 0:
+            return None
+        return (
+            sum(e.estimation_error * e.slots for e in scored) / total
+        )
+
 
 @dataclass
 class _EpochSimParams:
@@ -201,6 +244,10 @@ class RuntimeEngine:
         sim_workers: Optional[int] = None,
         planner: Union[str, Planner, None] = None,
         repair_tolerance: Optional[float] = None,
+        estimation: Optional[str] = None,
+        probes_per_node: float = 4.0,
+        estimator_decay: float = 0.8,
+        noise_sigma: float = 0.1,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -247,6 +294,21 @@ class RuntimeEngine:
                     "repair_tolerance applies to the 'incremental' planner; "
                     "configure an explicit planner instance directly"
                 )
+        if estimation not in (None, "oracle", "online"):
+            raise ValueError(
+                f"estimation must be None, 'oracle' or 'online', "
+                f"got {estimation!r}"
+            )
+        if probes_per_node < 0:
+            raise ValueError(
+                f"probes_per_node must be >= 0, got {probes_per_node}"
+            )
+        if not 0.0 < estimator_decay <= 1.0:
+            raise ValueError(
+                f"estimator_decay must be in (0, 1], got {estimator_decay}"
+            )
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
         self.platform = platform
         self.queue = EventQueue(events)
         self.horizon = int(horizon)
@@ -280,6 +342,81 @@ class RuntimeEngine:
         self._warm_sim: Optional[PacketSimEngine] = None
         self._warm_plan: Optional[Plan] = None
         self._warm_failed: set[int] = set()
+        #: Estimation-in-the-loop state.  ``"oracle"`` (the default) is a
+        #: pure passthrough: planners read the platform directly and no
+        #: probe is ever issued.
+        self.estimation = "online" if estimation == "online" else "oracle"
+        self._view: Optional[EstimatedPlatformView] = None
+        if self.estimation == "online":
+            self._view = EstimatedPlatformView(
+                platform,
+                ProbeScheduler(
+                    seed=seed if seed is not None else 0,
+                    probes_per_node=probes_per_node,
+                    noise_sigma=noise_sigma,
+                ),
+                OnlineEstimator(decay=estimator_decay),
+            )
+        self._pending_probes = 0
+        self._pending_est_error: Optional[float] = None
+        #: Truth-clipped transport scheme, memoized per installed plan.
+        self._clip_plan: Optional[Plan] = None
+        self._clip_scheme = None
+
+    # ------------------------------------------------------------------
+    # Estimation seam
+    # ------------------------------------------------------------------
+    @property
+    def view(self) -> Union[DynamicPlatform, EstimatedPlatformView]:
+        """The platform *as planners see it*: the oracle
+        :class:`DynamicPlatform` by default, the
+        :class:`~repro.estimation.online.EstimatedPlatformView` when
+        ``estimation="online"``.  Both expose the same read API
+        (``snapshot`` / ``alive_ids`` / ``is_alive`` / ``num_alive``), so
+        planners consume either transparently.
+        """
+        return self._view if self._view is not None else self.platform
+
+    def _observe(self, events: tuple[Event, ...]) -> None:
+        """One measurement round at the current epoch boundary.
+
+        Feeds applied churn events to the estimator, issues this
+        boundary's probes, and stages probe-cost / estimation-error
+        accounting for the next :class:`EpochReport`.  A no-op in oracle
+        mode.
+        """
+        if self._view is None:
+            return
+        if events:
+            self._view.note_events(events)
+        self._pending_probes += self._view.refresh(self.now)
+        self._pending_est_error = self._view.median_error()
+
+    def _transport_scheme(self, plan: Plan):
+        """The scheme the per-epoch transport actually runs.
+
+        Oracle mode simulates the plan verbatim.  Under estimation the
+        plan's edge rates were provisioned against *estimated* uplinks,
+        so each member's outgoing rates are proportionally clipped to
+        its true capacity at install time (per-node QoS enforcement, the
+        model of :func:`~repro.analysis.robustness.clip_to_capacities`)
+        — an overestimated relay under-delivers downstream exactly as it
+        would in the field, which is what makes the measured
+        estimation gap real rather than cosmetic.
+        """
+        if self._view is None:
+            return plan.scheme
+        if self._clip_plan is plan:
+            return self._clip_scheme
+        # Deferred import: repro.analysis imports repro.runtime at module
+        # load, so the clipper can only be resolved lazily here.
+        from ..analysis.robustness import clip_to_capacities
+
+        self._clip_scheme = clip_to_capacities(
+            plan.scheme, self.platform.true_capacities(plan.node_ids)
+        )
+        self._clip_plan = plan
+        return self._clip_scheme
 
     # ------------------------------------------------------------------
     # Planner seam
@@ -324,10 +461,17 @@ class RuntimeEngine:
         Returns the resulting plan — an incremental repair when the
         planner managed one, a full rebuild otherwise (including the
         degenerate case of no active plan yet).
+
+        Under estimation, join/drift events are rewritten to their
+        *observed* bandwidths first: the repair planner's overlay model
+        must stay consistent with the estimated view it was built from,
+        never peek at oracle values through the event feed.
         """
         if self.active_plan is None:
             return self.build_plan()
         planner = self._ensure_planner()
+        if self._view is not None:
+            events = tuple(self._view.observe_event(ev) for ev in events)
         started = time.perf_counter()
         outcome = planner.replan(self, self.active_plan, tuple(events))
         outcome.seconds = time.perf_counter() - started
@@ -360,6 +504,7 @@ class RuntimeEngine:
 
         initial = self.queue.pop_until(0)
         initial = [self._apply_event(ev) for ev in initial]
+        self._observe(tuple(initial))
         plan = controller.start(self)
         outcome = self._consume_outcome(plan)
         self.active_plan = plan
@@ -388,6 +533,7 @@ class RuntimeEngine:
                 if isinstance(ev, NodeLeave):
                     pending_departures.append(ev.time)
             fired = tuple(applied)
+            self._observe(fired)
             new_plan = controller.on_change(self, fired)
             if new_plan is not None:
                 plan = new_plan
@@ -419,6 +565,8 @@ class RuntimeEngine:
             repairs=repairs,
             repair_fallbacks=repair_fallbacks,
             plan_seconds=plan_seconds,
+            estimation=self.estimation,
+            probes=sum(e.probes for e in epochs),
         )
 
     def _apply_event(self, ev: Event) -> Event:
@@ -465,6 +613,8 @@ class RuntimeEngine:
     ) -> EpochReport:
         alive = self.platform.alive_ids()
         optimal_rate = self.cache.optimal_rate(self.platform.snapshot()[0])
+        probes, est_error = self._pending_probes, self._pending_est_error
+        self._pending_probes, self._pending_est_error = 0, None
         if not alive:
             return EpochReport(
                 start=start, end=end, num_alive=0,
@@ -472,6 +622,7 @@ class RuntimeEngine:
                 min_goodput=plan.rate, mean_goodput=plan.rate,
                 starved=0, unserved=0, rebuilt=rebuilt, events=events,
                 plan_op=plan_op, plan_seconds=plan_seconds,
+                probes=probes, estimation_error=est_error,
             )
 
         goodput_by_id = dict.fromkeys(alive, 0.0)
@@ -495,7 +646,7 @@ class RuntimeEngine:
                 )
                 goodput = simulate_packet_broadcast(
                     plan.instance,
-                    plan.scheme,
+                    self._transport_scheme(plan),
                     rate,
                     slots=end - start,
                     packets_per_unit=ppu,
@@ -526,6 +677,8 @@ class RuntimeEngine:
             events=events,
             plan_op=plan_op,
             plan_seconds=plan_seconds,
+            probes=probes,
+            estimation_error=est_error,
         )
 
     def _warm_epoch_goodput(
@@ -556,7 +709,7 @@ class RuntimeEngine:
             )
             sim = PacketSimEngine(
                 plan.instance,
-                plan.scheme,
+                self._transport_scheme(plan),
                 rate,
                 packets_per_unit=ppu,
                 burst_cap=self._sim.burst_cap,

@@ -242,6 +242,24 @@ class DynamicPlatform:
             raise ValueError(f"{what} targets unknown/departed node {node_id}")
         return state
 
+    def true_capacities(self, node_ids: Iterable[int]) -> list[float]:
+        """Oracle upload capacity per external id, in ``node_ids`` order.
+
+        Id 0 is the source; departed or unknown peers report 0.0 (their
+        edges are dark).  This is *the* rule for clipping a plan's edge
+        rates back to ground truth — shared by the engine's estimation
+        transport and the flow-level estimation-gap analysis so the two
+        paths cannot drift.
+        """
+        caps = []
+        for node_id in node_ids:
+            if node_id == 0:
+                caps.append(self.source_bw)
+            else:
+                state = self.nodes.get(node_id)
+                caps.append(0.0 if state is None else state.bandwidth)
+        return caps
+
     # ------------------------------------------------------------------
     # Bridge to the static optimizer
     # ------------------------------------------------------------------

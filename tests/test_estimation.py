@@ -1,5 +1,8 @@
 """Tests for the Bedibe-style LastMile estimation substrate."""
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -107,3 +110,162 @@ class TestEstimation:
         est = estimate_lastmile(ms, truth.num_nodes)
         inst = Instance(est.b_out[0], est.b_out[1:], ())
         assert inst.num_receivers == truth.num_nodes - 1
+
+    def test_max_envelope_ratchet_regression(self):
+        """A single noisy probe must not anchor its endpoints' fit.
+
+        Historical bug: the max-of-observations initialisation let the
+        largest noisy probe ``(i, j)`` seed both ``b_out_i`` and
+        ``b_in_j``, so the pair stayed "unexplained by the other side"
+        forever and the swarm's top uplink converged to its noisiest
+        observation instead of its typical one.
+        """
+        truth = LastMileGroundTruth.symmetric((50.0,) * 12, headroom=4.0)
+        rng = np.random.default_rng(7)
+        ms = sample_measurements(rng, truth, pairs_per_node=8, noise_sigma=0.0)
+        # One wild outlier on a single pair: +60% measurement spike.
+        spiked = [Measurement(ms[0].source, ms[0].target, ms[0].value * 1.6)]
+        spiked += ms[1:]
+        est = estimate_lastmile(spiked, truth.num_nodes)
+        errors = est.relative_out_errors(truth.b_out)
+        assert float(np.max(errors)) < 0.10  # was ~0.6 under the ratchet
+
+
+class TestZeroTruthErrors:
+    """Satellite regression: dead uplinks can't hide estimator errors."""
+
+    def test_wrong_estimate_on_zero_truth_is_inf(self):
+        from repro import LastMileEstimate
+
+        e = LastMileEstimate(
+            b_out=(5.0, 3.0), b_in=(1.0, 1.0), residual_rms_log=0.0
+        )
+        errors = e.relative_out_errors([5.0, 0.0])
+        assert errors[0] == pytest.approx(0.0)
+        assert errors[1] == np.inf  # busy estimate on a dead uplink
+
+    def test_exact_zero_estimate_on_zero_truth_is_zero(self):
+        from repro import LastMileEstimate
+
+        e = LastMileEstimate(
+            b_out=(5.0, 0.0), b_in=(1.0, 1.0), residual_rms_log=0.0
+        )
+        errors = e.relative_out_errors([5.0, 0.0])
+        assert errors[1] == pytest.approx(0.0)
+
+    def test_positive_truth_unchanged(self):
+        from repro import LastMileEstimate
+
+        e = LastMileEstimate(
+            b_out=(6.0,), b_in=(1.0,), residual_rms_log=0.0
+        )
+        assert e.relative_out_errors([5.0])[0] == pytest.approx(0.2)
+
+
+class TestUnmeasuredFallback:
+    """Satellite: nodes with no incident measurement get a documented
+    fallback instead of a crash (possible at low pairs_per_node under
+    churn — e.g. a peer that joined between probe rounds)."""
+
+    def _three_node_measurements(self):
+        """pairs_per_node=1 on a 3-node platform, then node 2's only
+        outgoing probe is lost (its target churned away)."""
+        truth = LastMileGroundTruth.symmetric((30.0, 20.0, 10.0))
+        ms = sample_measurements(0, truth, pairs_per_node=1, noise_sigma=0.0)
+        return [m for m in ms if m.source != 2]
+
+    def test_raise_is_still_the_default(self):
+        with pytest.raises(EstimationError, match="no outgoing"):
+            estimate_lastmile(self._three_node_measurements(), 3)
+
+    def test_median_imputation(self):
+        ms = self._three_node_measurements()
+        est = estimate_lastmile(ms, 3, unmeasured="median")
+        measured = [est.b_out[i] for i in range(3) if i != 2]
+        assert est.b_out[2] == pytest.approx(float(np.median(measured)))
+
+    def test_float_imputation(self):
+        est = estimate_lastmile(
+            self._three_node_measurements(), 3, unmeasured=15.0
+        )
+        assert est.b_out[2] == pytest.approx(15.0)
+
+    def test_measured_nodes_not_distorted_by_imputation(self):
+        ms = self._three_node_measurements()
+        with_fallback = estimate_lastmile(ms, 3, unmeasured=999.0)
+        # The imputed node is excluded from the fit, so the measured
+        # nodes' estimates match a fit over the same measurements alone.
+        assert with_fallback.b_out[2] == pytest.approx(999.0)
+        other = estimate_lastmile(ms, 3, unmeasured=0.0)
+        assert with_fallback.b_out[:2] == other.b_out[:2]
+
+    def test_bad_unmeasured_values_rejected(self):
+        ms = self._three_node_measurements()
+        with pytest.raises(ValueError, match="unmeasured"):
+            estimate_lastmile(ms, 3, unmeasured="mean")
+        with pytest.raises(ValueError, match=">= 0"):
+            estimate_lastmile(ms, 3, unmeasured=-1.0)
+
+
+def _sample_job(args):
+    seed, pairs = args
+    truth = LastMileGroundTruth.symmetric(tuple(range(5, 30)), headroom=4.0)
+    return sample_measurements(seed, truth, pairs_per_node=pairs)
+
+
+class TestSeedThreading:
+    """Satellite: seeded sampling is deterministic per pair, not per
+    call order, so batch shards can re-sample independently."""
+
+    @pytest.fixture
+    def truth(self):
+        rng = np.random.default_rng(0)
+        return LastMileGroundTruth.symmetric(rng.uniform(5, 100, 20))
+
+    def test_seeded_calls_reproducible(self, truth):
+        a = sample_measurements(11, truth, pairs_per_node=4)
+        b = sample_measurements(11, truth, pairs_per_node=4)
+        assert a == b
+
+    def test_common_pairs_identical_across_subsets(self, truth):
+        """The same seed at different pairs_per_node reports the same
+        value for every pair both samplings contain — per-pair noise
+        streams, not one shared sequential stream."""
+        sparse = {
+            (m.source, m.target): m.value
+            for m in sample_measurements(11, truth, pairs_per_node=2)
+        }
+        dense = {
+            (m.source, m.target): m.value
+            for m in sample_measurements(11, truth, pairs_per_node=8)
+        }
+        common = set(sparse) & set(dense)
+        assert common  # the samplers do overlap
+        for pair in common:
+            assert sparse[pair] == dense[pair]
+
+    def test_generator_api_unchanged(self, truth):
+        """The historical Generator-based path still threads one shared
+        stream (bit-for-bit what it always produced)."""
+        a = sample_measurements(
+            np.random.default_rng(3), truth, pairs_per_node=4
+        )
+        b = sample_measurements(
+            np.random.default_rng(3), truth, pairs_per_node=4
+        )
+        assert a == b
+
+    def test_pickle_round_trip(self, truth):
+        ms = sample_measurements(5, truth, pairs_per_node=3)
+        assert pickle.loads(pickle.dumps(ms)) == ms
+        est = estimate_lastmile(ms, truth.num_nodes)
+        assert pickle.loads(pickle.dumps(est)) == est
+
+    def test_process_pool_dispatch_matches_serial(self):
+        """Mode independence: the exact guarantee the batch runner makes
+        for engine runs, extended to measurement sampling."""
+        jobs = [(9, 2), (9, 6), (13, 2)]
+        serial = [_sample_job(j) for j in jobs]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = list(pool.map(_sample_job, jobs))
+        assert serial == pooled

@@ -1,0 +1,504 @@
+"""Tests for estimation in the loop: probes -> estimator -> view -> engine.
+
+Covers the online measurement pipeline of :mod:`repro.estimation.online`
+unit by unit, its integration through ``RuntimeEngine(estimation=...)``
+and the batch runner, and the property-style acceptance criterion: the
+estimated view degrades *monotonically* — lower probe budgets or higher
+noise never beat the oracle on the seeded scenario grid.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    EstimatedPlatformView,
+    OnlineEstimator,
+    ProbeScheduler,
+    random_instance,
+)
+from repro.estimation.measurements import Measurement
+from repro.runtime import (
+    BandwidthDrift,
+    DynamicPlatform,
+    NodeJoin,
+    NodeLeave,
+    RuntimeEngine,
+    SteadyChurn,
+    make_controller,
+    run_batch,
+    scenario_grid,
+    summarize_batch,
+)
+
+
+@pytest.fixture
+def platform():
+    rng = np.random.default_rng(5)
+    return DynamicPlatform.from_instance(random_instance(rng, 16, 0.6, "Unif100"))
+
+
+def _fresh_view(platform, *, budget=6.0, sigma=0.1, decay=0.8, seed=3):
+    return EstimatedPlatformView(
+        platform,
+        ProbeScheduler(seed=seed, probes_per_node=budget, noise_sigma=sigma),
+        OnlineEstimator(decay=decay),
+    )
+
+
+class TestProbeScheduler:
+    def test_budget_scales_with_population(self, platform):
+        sched = ProbeScheduler(seed=0, probes_per_node=3.0)
+        assert sched.budget(platform.num_alive) == 3 * platform.num_alive
+        assert sched.budget(1) == 0  # nothing to probe pairwise
+
+    def test_budget_capped_at_all_ordered_pairs(self):
+        sched = ProbeScheduler(seed=0, probes_per_node=100.0)
+        assert sched.budget(4) == 4 * 3
+
+    def test_probe_count_and_id_space(self, platform):
+        sched = ProbeScheduler(seed=1, probes_per_node=2.0)
+        probes = sched.probe(platform, now=0)
+        assert len(probes) == sched.budget(platform.num_alive)
+        alive = set(platform.alive_ids())
+        for m in probes:
+            assert m.source in alive and m.target in alive
+            assert m.source != m.target
+            assert m.value >= 0
+
+    def test_deterministic_per_slot(self, platform):
+        a = ProbeScheduler(seed=7, probes_per_node=3.0).probe(platform, 5)
+        b = ProbeScheduler(seed=7, probes_per_node=3.0).probe(platform, 5)
+        assert a == b
+        c = ProbeScheduler(seed=7, probes_per_node=3.0).probe(platform, 6)
+        assert a != c  # fresh pairs/noise at the next boundary
+
+    def test_pair_values_independent_of_budget(self, platform):
+        """The engine-facing mode-independence guarantee: a pair's value
+        depends only on (seed, slot, pair), never on the other pairs."""
+        small = {
+            (m.source, m.target): m.value
+            for m in ProbeScheduler(seed=7, probes_per_node=2.0).probe(platform, 0)
+        }
+        large = {
+            (m.source, m.target): m.value
+            for m in ProbeScheduler(seed=7, probes_per_node=10.0).probe(platform, 0)
+        }
+        common = set(small) & set(large)
+        assert common
+        for pair in common:
+            assert small[pair] == large[pair]
+
+    def test_noiseless_probe_is_lastmile_pair_bandwidth(self, platform):
+        sched = ProbeScheduler(seed=2, probes_per_node=4.0, noise_sigma=0.0)
+        for m in sched.probe(platform, 0):
+            expected = min(
+                platform.nodes[m.source].bandwidth,
+                sched.headroom * platform.nodes[m.target].bandwidth,
+            )
+            assert m.value == pytest.approx(expected)
+
+    def test_zero_budget_probes_nothing(self, platform):
+        assert ProbeScheduler(seed=0, probes_per_node=0.0).probe(platform, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeScheduler(probes_per_node=-1)
+        with pytest.raises(ValueError):
+            ProbeScheduler(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            ProbeScheduler(headroom=0.0)
+
+
+class TestOnlineEstimator:
+    def test_decay_window(self):
+        assert OnlineEstimator(decay=1.0).window is None
+        est = OnlineEstimator(decay=0.5, min_weight=0.05)
+        assert est.window == 4  # 0.5**4 = 0.0625 >= 0.05 > 0.5**5
+
+    def test_stale_measurements_expire(self, platform):
+        est = OnlineEstimator(decay=0.5, min_weight=0.05)
+        ids = platform.alive_ids()
+        est.ingest([Measurement(ids[0], ids[1], 10.0)])
+        assert len(est) == 1
+        for _ in range(est.window):
+            est.ingest([])
+        assert len(est) == 1  # exactly at the window edge: retained
+        est.ingest([])
+        assert len(est) == 0  # one round past: decayed away
+
+    def test_leave_purges_both_directions(self, platform):
+        est = OnlineEstimator()
+        a, b, c = platform.alive_ids()[:3]
+        est.ingest([Measurement(a, b, 1.0), Measurement(c, a, 2.0),
+                    Measurement(b, c, 3.0)])
+        est.observe_leave(a)
+        assert len(est) == 1  # only b -> c survives
+
+    def test_drift_purges_outgoing_only(self, platform):
+        est = OnlineEstimator()
+        a, b = platform.alive_ids()[:2]
+        est.ingest([Measurement(a, b, 1.0), Measurement(b, a, 2.0)])
+        est.observe_drift(a)
+        assert len(est) == 1  # a's outgoing probe lied; b's still stands
+
+    def test_apply_events_routes_by_type(self, platform):
+        est = OnlineEstimator()
+        a, b = platform.alive_ids()[:2]
+        est.ingest([Measurement(a, b, 1.0), Measurement(b, a, 2.0)])
+        est.apply_events([
+            NodeJoin(time=1, bandwidth=5.0, node_id=99),  # no-op
+            BandwidthDrift(time=1, node_id=b, bandwidth=3.0),
+        ])
+        assert len(est) == 1
+        est.apply_events([NodeLeave(time=2, node_id=a)])
+        assert len(est) == 0
+
+    def test_refit_is_lazy(self, platform):
+        view = _fresh_view(platform)
+        view.refresh(0)
+        fits = view.estimator.fits
+        assert fits == 1
+        # No new probes, no churn: repeated estimate calls are memo hits.
+        view.estimator.estimates(platform)
+        view.estimator.estimates(platform)
+        assert view.estimator.fits == fits
+
+    def test_prior_without_measurements(self, platform):
+        est = OnlineEstimator(prior_bw=2.5)
+        fit = est.estimates(platform)
+        assert set(fit) == set(platform.alive_ids())
+        assert all(v == 2.5 for v in fit.values())
+
+    def test_estimates_track_truth(self, platform):
+        view = _fresh_view(platform, budget=8.0, sigma=0.05)
+        for now in range(3):
+            view.refresh(now)
+        errors = view.relative_errors()
+        assert float(np.median(errors)) < 0.10
+
+    def test_conservative_envelope(self, platform):
+        """No estimate may exceed the node's own observation quantile:
+        overestimated relays starve subtrees, underestimates only waste
+        slack (see OnlineEstimator docstring)."""
+        view = _fresh_view(platform, budget=8.0, sigma=0.3)
+        for now in range(3):
+            view.refresh(now)
+        by_src = {}
+        for (s, _), (v, _) in view.estimator._latest.items():
+            by_src.setdefault(s, []).append(v)
+        for node, obs in by_src.items():
+            cap = float(np.quantile(obs, view.estimator.quantile))
+            assert view.bandwidth(node) <= cap + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineEstimator(decay=0.0)
+        with pytest.raises(ValueError):
+            OnlineEstimator(decay=1.5)
+        with pytest.raises(ValueError):
+            OnlineEstimator(min_weight=1.0)
+        with pytest.raises(ValueError):
+            OnlineEstimator(prior_bw=-1.0)
+
+
+class TestEstimatedPlatformView:
+    def test_membership_is_oracle(self, platform):
+        view = _fresh_view(platform)
+        view.refresh(0)
+        assert view.alive_ids() == platform.alive_ids()
+        assert view.num_alive == platform.num_alive
+        assert view.is_alive(platform.alive_ids()[0])
+        assert view.source_bw == platform.source_bw
+
+    def test_snapshot_same_shape_estimated_values(self, platform):
+        view = _fresh_view(platform, sigma=0.2)
+        view.refresh(0)
+        est_inst, est_ids = view.snapshot()
+        true_inst, true_ids = platform.snapshot()
+        assert est_inst.num_receivers == true_inst.num_receivers
+        assert est_inst.n == true_inst.n and est_inst.m == true_inst.m
+        assert sorted(est_ids) == sorted(true_ids)
+        assert est_inst.source_bw == true_inst.source_bw  # tracker-known
+        # Kinds follow the oracle per external id (control-plane facts).
+        for k, ext in enumerate(est_ids):
+            if k == 0:
+                continue
+            assert est_inst.kind(k) == platform.nodes[ext].kind
+        # Bandwidths are estimates, not oracle values.
+        assert est_inst.open_bws != true_inst.open_bws
+
+    def test_observe_event_rewrites_join_and_drift(self, platform):
+        view = _fresh_view(platform)
+        view.refresh(0)
+        node = platform.alive_ids()[0]
+        drift = BandwidthDrift(time=3, node_id=node, bandwidth=123.0)
+        seen = view.observe_event(drift)
+        assert seen.bandwidth == pytest.approx(view.bandwidth(node))
+        leave = NodeLeave(time=3, node_id=node)
+        assert view.observe_event(leave) is leave
+
+    def test_unprobed_joiner_gets_imputed_bandwidth(self, platform):
+        view = _fresh_view(platform, budget=6.0)
+        view.refresh(0)
+        platform.apply(NodeJoin(time=1, bandwidth=77.0, node_id=500))
+        # Not yet probed: the view must still answer, via imputation,
+        # and must not leak the oracle 77.0.
+        seen = view.observe_event(
+            NodeJoin(time=1, bandwidth=77.0, node_id=500)
+        )
+        assert seen.bandwidth != 77.0
+
+    def test_zero_truth_error_is_inf_guarded(self, platform):
+        view = _fresh_view(platform)
+        view.refresh(0)
+        node = platform.alive_ids()[0]
+        platform.nodes[node].bandwidth = 0.0  # uplink died; estimate stale
+        errors = view.relative_errors()
+        assert np.isinf(errors).any()
+
+
+class TestEngineIntegration:
+    def _run(self, estimation, *, budget=4.0, sigma=0.1, seed=0,
+             controller="reactive", horizon=160, size=14):
+        spec = SteadyChurn(size=size, horizon=horizon,
+                           join_rate=0.03, leave_rate=0.03)
+        run = spec.build(seed, name="steady-churn")
+        engine = RuntimeEngine(
+            run.platform, run.events, run.horizon, seed=seed,
+            estimation=estimation, probes_per_node=budget,
+            noise_sigma=sigma,
+        )
+        return engine.run(make_controller(controller))
+
+    def test_online_run_accounts_probes_and_errors(self):
+        result = self._run("online")
+        assert result.estimation == "online"
+        assert result.probes > 0
+        assert result.probes == sum(e.probes for e in result.epochs)
+        assert result.epochs[0].probes > 0  # the initial boundary probed
+        errs = [e.estimation_error for e in result.epochs]
+        assert all(e is not None for e in errs)
+        assert result.mean_estimation_error is not None
+        assert 0.0 <= result.mean_estimation_error < 1.0
+
+    def test_oracle_mode_is_a_passthrough(self):
+        default = self._run(None)
+        oracle = self._run("oracle")
+        assert oracle.estimation == default.estimation == "oracle"
+        assert oracle.probes == 0
+        assert oracle.mean_estimation_error is None
+        assert oracle.epochs == default.epochs
+
+    def test_oracle_identical_regardless_of_estimation_knobs(self):
+        """Estimation knobs are inert in oracle mode (no RNG leakage)."""
+        a = self._run("oracle", budget=4.0, sigma=0.1)
+        b = self._run("oracle", budget=9.0, sigma=0.7)
+        assert a.epochs == b.epochs
+
+    def test_planners_consume_the_view(self):
+        """Plans under estimation are built in estimated space: the plan
+        instance differs from the oracle snapshot of the same swarm."""
+        rng = np.random.default_rng(11)
+        inst = random_instance(rng, 12, 0.6, "Unif100")
+        platform = DynamicPlatform.from_instance(inst)
+        engine = RuntimeEngine(platform, [], 40, seed=1,
+                               estimation="online", probes_per_node=6.0)
+        engine._observe(())
+        plan = engine.build_plan()
+        assert plan.instance != platform.snapshot()[0]
+        assert sorted(plan.node_ids) == sorted(platform.snapshot()[1])
+
+    def test_incremental_controller_runs_under_estimation(self):
+        result = self._run("online", controller="incremental")
+        assert result.estimation == "online"
+        assert result.probes > 0
+        assert result.mean_delivered_fraction > 0.3
+
+    def test_estimated_never_beats_oracle(self):
+        oracle = self._run("oracle")
+        online = self._run("online")
+        assert (
+            online.mean_optimality_fraction
+            <= oracle.mean_optimality_fraction + 0.05
+        )
+
+    def test_engine_validation(self):
+        rng = np.random.default_rng(0)
+        platform = DynamicPlatform.from_instance(
+            random_instance(rng, 6, 0.5, "Unif100")
+        )
+        with pytest.raises(ValueError, match="estimation"):
+            RuntimeEngine(platform, [], 10, estimation="psychic")
+        with pytest.raises(ValueError, match="probes_per_node"):
+            RuntimeEngine(platform, [], 10, probes_per_node=-2.0)
+        with pytest.raises(ValueError, match="estimator_decay"):
+            RuntimeEngine(platform, [], 10, estimator_decay=0.0)
+        with pytest.raises(ValueError, match="noise_sigma"):
+            RuntimeEngine(platform, [], 10, noise_sigma=-0.5)
+
+
+class TestMonotoneDegradation:
+    """Satellite acceptance: on the seeded scenario grid, less probing or
+    more noise never yields *better* achieved throughput than oracle."""
+
+    SPEC = SteadyChurn(size=12, horizon=120, join_rate=0.03, leave_rate=0.03)
+
+    def _optimality(self, *, estimation, budget=4.0, sigma=0.1, seeds=(0, 1)):
+        jobs = scenario_grid(
+            [self.SPEC],
+            ["reactive"],
+            seeds=seeds,
+            estimation=estimation,
+            probes_per_node=budget,
+            noise_sigma=sigma,
+        )
+        results = run_batch(jobs, mode="serial")
+        return sum(r.mean_optimality for r in results) / len(results)
+
+    @pytest.mark.parametrize("budget", [8.0, 2.0, 1.0])
+    def test_no_probe_budget_beats_oracle(self, budget):
+        oracle = self._optimality(estimation="oracle")
+        online = self._optimality(estimation="online", budget=budget)
+        assert online <= oracle + 0.05
+
+    @pytest.mark.parametrize("sigma", [0.05, 0.3, 0.6])
+    def test_no_noise_level_beats_oracle(self, sigma):
+        oracle = self._optimality(estimation="oracle")
+        online = self._optimality(estimation="online", sigma=sigma)
+        assert online <= oracle + 0.05
+
+    def test_flow_level_gap_monotone_in_budget_and_sigma(self):
+        """Deterministic (no transport RNG) statement of the same
+        property: the truth-clipped achieved rate degrades monotonically
+        along both axes of the estimation-gap sweep."""
+        from repro.analysis import estimation_gap_experiment
+
+        rows = estimation_gap_experiment(
+            budgets=(8.0, 2.0, 0.5),
+            sigmas=(0.05, 0.3),
+            size=24,
+            trials=3,
+        )
+        by_sigma = {}
+        for r in rows:
+            by_sigma.setdefault(r.noise_sigma, []).append(r)
+        for sigma, cells in by_sigma.items():
+            gaps = [r.gap for r in sorted(
+                cells, key=lambda r: -r.probes_per_node
+            )]
+            assert gaps == sorted(gaps), (sigma, gaps)  # widens as probes drop
+        for lo, hi in zip(by_sigma[0.05], by_sigma[0.3]):
+            assert lo.gap <= hi.gap + 1e-9  # and as noise grows
+
+
+class TestEstimationAblation:
+    def test_oracle_row_first_and_never_worse(self):
+        from repro.experiments.ablations import estimation_ablation
+
+        rows = estimation_ablation(budgets=(4.0,), size=14, horizon=160)
+        assert [r.estimation for r in rows] == ["oracle", "online"]
+        oracle, online = rows
+        assert oracle.probes == 0 and oracle.est_error == 0.0
+        assert online.probes > 0 and online.est_error > 0.0
+        assert online.mean_optimality <= oracle.mean_optimality + 0.05
+
+
+class TestBatchIntegration:
+    SPEC = SteadyChurn(size=10, horizon=100, join_rate=0.03, leave_rate=0.03)
+
+    def test_grid_threads_estimation_kwargs(self):
+        jobs = scenario_grid(
+            [self.SPEC], ["static"], estimation="online",
+            probes_per_node=2.0, estimator_decay=0.9, noise_sigma=0.2,
+        )
+        kwargs = dict(jobs[0].engine_kwargs)
+        assert kwargs["estimation"] == "online"
+        assert kwargs["probes_per_node"] == 2.0
+        assert kwargs["estimator_decay"] == 0.9
+        assert kwargs["noise_sigma"] == 0.2
+
+    def test_jobs_pickle(self):
+        jobs = scenario_grid([self.SPEC], ["reactive"], estimation="online")
+        assert pickle.loads(pickle.dumps(jobs)) == jobs
+
+    def test_summary_carries_estimation_columns(self):
+        jobs = scenario_grid(
+            [self.SPEC], ["static", "reactive"], estimation="online",
+            probes_per_node=3.0,
+        )
+        results = run_batch(jobs, mode="serial")
+        for r in results:
+            assert r.estimation == "online"
+            assert r.probes > 0
+            assert r.estimation_error is not None
+        table = summarize_batch(results)
+        assert "estim" in table and "probes" in table and "est err" in table
+        assert "online" in table
+
+    def test_mode_independent_results(self):
+        """Estimated sweeps stay bit-identical across execution modes —
+        the PR 1 guarantee extended to the measurement loop."""
+        jobs = scenario_grid(
+            [self.SPEC], ["static", "reactive"], seeds=(0, 1),
+            estimation="online", probes_per_node=3.0,
+        )
+        serial = run_batch(jobs, mode="serial")
+        threaded = run_batch(jobs, mode="thread", max_workers=2)
+        pooled = run_batch(jobs, mode="process", max_workers=2)
+        assert serial == threaded == pooled
+
+    def test_oracle_rows_unchanged_shape(self):
+        results = run_batch(
+            scenario_grid([self.SPEC], ["static"]), mode="serial"
+        )
+        assert results[0].estimation == "oracle"
+        assert results[0].probes == 0
+        assert results[0].estimation_error is None
+
+
+class TestCli:
+    def test_estimation_run(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "runtime", "--scenario", "rack-failure", "--controller",
+            "reactive", "--estimation", "online", "--probes-per-node", "4",
+            "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "estimation=online" in out
+        assert "mean est error" in out
+
+    def test_oracle_run_prints_no_estimation_line(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "runtime", "--scenario", "rack-failure", "--seed", "1",
+        ])
+        assert rc == 0
+        assert "estimation=online" not in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["--probes-per-node", "-1"], "--probes-per-node"),
+            (["--noise-sigma", "-0.1"], "--noise-sigma"),
+            (["--estimator-decay", "0"], "--estimator-decay"),
+            (["--estimator-decay", "1.5"], "--estimator-decay"),
+        ],
+    )
+    def test_invalid_estimation_flags(self, capsys, argv, message):
+        from repro.cli import main
+
+        rc = main(["runtime", "--scenario", "rack-failure"] + argv)
+        assert rc == 2
+        assert message in capsys.readouterr().err
+
+    def test_unknown_estimation_choice_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runtime", "--estimation", "magic"])
