@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Multi-tenant live streaming: K channels sharing one swarm.
+
+A production live-streaming fleet never runs one broadcast — it runs
+many channels at once, and a peer subscribed to several of them splits
+its bounded upload across all of them (the bounded multi-port model,
+multi-tenant).  This walkthrough uses :mod:`repro.sessions` to show
+what the capacity broker buys:
+
+1. build a 3-channel fleet over one live-stream swarm with overlapping
+   membership and a heterogeneous demand spread (one capped niche
+   channel, one mid-sized channel, one best-effort flagship);
+2. run the fleet under the ``equal`` and ``waterfill`` brokers and
+   compare per-session rates — waterfill hands the capped channels only
+   what they need and the surplus to the flagship;
+3. admission control: tighten the floor until the ``reject`` policy
+   starts dropping channels, freeing their members' upload for the
+   survivors.
+
+Run:  python examples/multi_channel.py [seed]
+"""
+
+import math
+import sys
+from dataclasses import replace
+
+from repro.runtime import LiveStreamTrace
+from repro.sessions import FleetEngine, lemma51_bound, make_fleet
+
+#: Down-scaled trace so the example finishes in seconds.
+TRACE = LiveStreamTrace(size=18, horizon=240, arrival_rate=0.03)
+NUM_SESSIONS = 3
+OVERLAP = 0.5
+DEMAND_FRACTIONS = (0.3, 0.6, math.inf)  #: niche, mid, best-effort flagship
+
+
+def build_fleet(seed: int):
+    """One fleet per run: a FleetEngine consumes its shared platform."""
+    fleet = make_fleet(TRACE, NUM_SESSIONS, seed, overlap=OVERLAP)
+    kinds = {i: s.kind for i, s in fleet.platform.nodes.items() if s.alive}
+    bandwidths = {
+        i: s.bandwidth for i, s in fleet.platform.nodes.items() if s.alive
+    }
+    sessions = []
+    for k, spec in enumerate(fleet.sessions):
+        solo = lemma51_bound(
+            spec.source_bw,
+            math.inf,
+            tuple(n for n in spec.members if n in bandwidths),
+            kinds,
+            bandwidths,
+        )
+        fraction = DEMAND_FRACTIONS[k % len(DEMAND_FRACTIONS)]
+        demand = math.inf if math.isinf(fraction) else fraction * solo
+        sessions.append(replace(spec, demand=demand))
+    return replace(fleet, sessions=tuple(sessions))
+
+
+def compare_brokers(seed: int) -> None:
+    print("--- equal vs waterfill on the same contended fleet ---")
+    for broker in ("equal", "waterfill"):
+        result = FleetEngine.from_fleet(build_fleet(seed), broker=broker).run()
+        per_session = "  ".join(
+            f"{s.name}={s.goodput:6.2f}/"
+            + ("best-effort" if math.isinf(s.demand) else f"{s.demand:.2f}")
+            for s in result.sessions
+        )
+        print(
+            f"{broker:>9}: aggregate {result.aggregate_goodput:6.2f}  "
+            f"fairness {result.fairness:.3f}  [{per_session}]"
+        )
+    print()
+
+
+def admission_sweep(seed: int) -> None:
+    print("--- admission control: raising the rate floor ---")
+    probe = FleetEngine.from_fleet(build_fleet(seed), broker="waterfill")
+    probe.prepare()
+    bounds = sorted(probe._initial_bounds.values())
+    floors = [0.0, bounds[0] + 0.01, bounds[-1] + 0.01]
+    for floor in floors:
+        result = FleetEngine.from_fleet(
+            build_fleet(seed),
+            broker="waterfill",
+            admission="reject",
+            admission_floor=floor,
+        ).run()
+        admitted = ", ".join(s.name for s in result.admitted) or "(none)"
+        print(
+            f"floor {floor:6.2f}: admitted {len(result.admitted)}/"
+            f"{len(result.sessions)} [{admitted}]  "
+            f"aggregate {result.aggregate_goodput:6.2f}"
+        )
+    print()
+
+
+def main(seed: int = 1) -> None:
+    fleet = build_fleet(seed)
+    print(
+        f"shared swarm: {fleet.platform.num_alive} receivers, "
+        f"{len(fleet.events)} churn events over {fleet.horizon} slots; "
+        f"{NUM_SESSIONS} channels, overlap {OVERLAP:g}"
+    )
+    for spec in fleet.sessions:
+        demand = "best effort" if math.isinf(spec.demand) else f"{spec.demand:.2f}"
+        print(
+            f"  {spec.name}: {len(spec.members)} subscribed peers, "
+            f"demand {demand}"
+        )
+    print()
+    compare_brokers(seed)
+    admission_sweep(seed)
+    print(
+        "Waterfill converts the niche channels' unusable share into "
+        "flagship rate; a rising floor trades admission rate for "
+        "per-channel quality."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

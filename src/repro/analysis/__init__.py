@@ -13,12 +13,21 @@ from .estimation_gap import (
     estimated_plan_outcome,
     estimation_gap_experiment,
 )
+from .fleet import (
+    FleetComparisonRow,
+    FleetFlowReport,
+    FlowSessionRow,
+    fleet_experiment,
+    fleet_flow_report,
+    jain_fairness,
+)
 from .metrics import SchemeStats, compare_stats, scheme_depths, scheme_stats
 from .robustness import (
     RobustnessReport,
     clip_to_capacities,
     perturbation_experiment,
 )
+from .warmstart import WarmForkReport, warm_snapshot_ab
 
 __all__ = [
     "scheme_depths",
@@ -36,4 +45,12 @@ __all__ = [
     "perturbation_experiment",
     "clip_to_capacities",
     "RobustnessReport",
+    "fleet_experiment",
+    "fleet_flow_report",
+    "FleetComparisonRow",
+    "FleetFlowReport",
+    "FlowSessionRow",
+    "jain_fairness",
+    "warm_snapshot_ab",
+    "WarmForkReport",
 ]

@@ -159,6 +159,68 @@ def build_parser() -> argparse.ArgumentParser:
                               "(--estimation online only)")
     runtime.add_argument("--list", action="store_true", dest="list_names",
                          help="list registered scenarios and controllers")
+
+    # Like the runtime command, every choice list below is read from the
+    # live registries (BROKERS / ADMISSIONS / CONTROLLERS) at parser
+    # build time — a plugin registering a broker shows up in --help and
+    # --list immediately, and nothing here can drift from the code.
+    from .sessions import admission_names, broker_names
+
+    sessions = sub.add_parser(
+        "sessions",
+        help="multi-tenant concurrent broadcast fleet (repro.sessions)",
+    )
+    sessions.add_argument("--scenario", default="steady-churn",
+                          help="registered scenario name for the shared "
+                               "swarm (see --list)")
+    sessions.add_argument("--num-sessions", type=int, default=3,
+                          metavar="K",
+                          help="number of concurrent broadcast sessions "
+                               "sharing the platform")
+    sessions.add_argument("--overlap", type=float, default=0.25,
+                          metavar="P",
+                          help="probability that a node subscribes to each "
+                               "extra session beyond its primary one "
+                               "(0 = disjoint members, no contention)")
+    sessions.add_argument("--broker", default="waterfill",
+                          help="capacity-broker policy partitioning each "
+                               "shared node's upload, one of: "
+                               f"{', '.join(broker_names())}")
+    sessions.add_argument("--admission", default="degrade",
+                          help="what happens to sessions whose allocated "
+                               "Lemma 5.1 bound falls below the floor, "
+                               f"one of: {', '.join(admission_names())}")
+    sessions.add_argument("--admission-floor", type=float, default=0.0,
+                          metavar="RATE",
+                          help="minimum allocated rate bound a session "
+                               "needs to be admitted cleanly")
+    sessions.add_argument("--demand", type=float, default=None,
+                          metavar="RATE",
+                          help="per-session demand rate (default: "
+                               "best effort)")
+    sessions.add_argument("--controller", default="reactive",
+                          help="re-optimization policy of every session, "
+                               f"one of: {', '.join(controller_names())}")
+    sessions.add_argument("--seed", type=int, default=0,
+                          help="fleet seed (swarm, membership, transport)")
+    sessions.add_argument("--mode", default="serial",
+                          choices=["serial", "thread", "process"],
+                          help="how the per-session engine runs are "
+                               "dispatched (results are identical)")
+    sessions.add_argument("--workers", type=int, default=None,
+                          help="pool size for --mode thread/process")
+    sessions.add_argument("--estimation", default="oracle",
+                          choices=["oracle", "online"],
+                          help="bandwidth feed of every session's "
+                               "controller (the probe budget is "
+                               "amortized fleet-wide)")
+    sessions.add_argument("--probes-per-node", type=float, default=4.0,
+                          metavar="N",
+                          help="fleet-level probe budget per node per "
+                               "epoch (--estimation online only)")
+    sessions.add_argument("--list", action="store_true", dest="list_names",
+                          help="list registered scenarios, controllers, "
+                               "brokers and admission policies")
     return parser
 
 
@@ -227,6 +289,7 @@ def _cmd_ablations() -> int:
         greedy_vs_exhaustive,
         packing_degree_ablation,
         repair_tolerance_ablation,
+        sessions_ablation,
         simulation_backend_ablation,
         source_sensitivity,
     )
@@ -333,6 +396,22 @@ def _cmd_ablations() -> int:
                  f"{r.mean_optimality:.3f}", f"{r.mean_delivered:.3f}",
                  r.probes, f"{r.est_error:.3f}"]
                 for r in estimation_ablation()
+            ],
+        )
+    )
+    print()
+    print("Multi-tenant sessions (contended fleet, heterogeneous demands, "
+          "per broker policy):")
+    print(
+        format_table(
+            ["broker", "admitted", "aggregate", "ceiling", "fairness",
+             "worst sess", "re-arb"],
+            [
+                [r.broker, f"{r.admitted}/{r.num_sessions}",
+                 f"{r.aggregate:.1f}", f"{r.ceiling_sum:.1f}",
+                 f"{r.fairness:.3f}", f"{r.worst_session:.1f}",
+                 r.rearbitrations]
+                for r in sessions_ablation()
             ],
         )
     )
@@ -634,6 +713,155 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    import math
+
+    from .experiments.common import format_table
+    from .runtime import controller_names, scenario_names
+    from .sessions import (
+        FleetEngine,
+        admission_names,
+        broker_names,
+        make_fleet,
+    )
+
+    if args.list_names:
+        print("scenarios :", ", ".join(scenario_names()))
+        print("controllers:", ", ".join(controller_names()))
+        print("brokers   :", ", ".join(broker_names()))
+        print("admissions:", ", ".join(admission_names()))
+        return 0
+
+    if args.num_sessions < 1:
+        print(
+            f"error: --num-sessions must be >= 1, got {args.num_sessions}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.overlap <= 1.0:
+        print(
+            f"error: --overlap must be in [0, 1], got {args.overlap}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.broker not in broker_names():
+        print(
+            f"error: unknown broker {args.broker!r} "
+            f"(known: {', '.join(broker_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.admission not in admission_names():
+        print(
+            f"error: unknown admission policy {args.admission!r} "
+            f"(known: {', '.join(admission_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.admission_floor < 0:
+        print(
+            f"error: --admission-floor must be >= 0, "
+            f"got {args.admission_floor}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.demand is not None and not args.demand > 0:
+        print(
+            f"error: --demand must be > 0, got {args.demand}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.controller not in controller_names():
+        print(
+            f"error: unknown controller {args.controller!r} "
+            f"(known: {', '.join(controller_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.probes_per_node < 0:
+        print(
+            f"error: --probes-per-node must be >= 0, "
+            f"got {args.probes_per_node}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        fleet = make_fleet(
+            args.scenario,
+            args.num_sessions,
+            args.seed,
+            overlap=args.overlap,
+            demand=math.inf if args.demand is None else args.demand,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(
+        f"fleet {args.scenario!r}: {fleet.platform.num_alive} shared "
+        f"receivers, {args.num_sessions} sessions (overlap "
+        f"{args.overlap:g}), {len(fleet.events)} events over "
+        f"{fleet.horizon} slots; broker {args.broker!r}, admission "
+        f"{args.admission!r} (floor {args.admission_floor:g}), "
+        f"controller {args.controller!r}, seed {args.seed}"
+    )
+    engine = FleetEngine.from_fleet(
+        fleet,
+        broker=args.broker,
+        admission=args.admission,
+        admission_floor=args.admission_floor,
+        controller=args.controller,
+        estimation=args.estimation,
+        probes_per_node=args.probes_per_node,
+    )
+    result = engine.run(mode=args.mode, max_workers=args.workers)
+    print(
+        format_table(
+            ["session", "status", "members", "alloc bound", "solo bound",
+             "goodput", "delivered", "rebuilds", "repairs"],
+            [
+                [
+                    s.name, s.status,
+                    f"{s.initial_members}->{s.final_alive}",
+                    f"{s.bound:.2f}", f"{s.solo_bound:.2f}",
+                    f"{s.goodput:.2f}",
+                    "-" if s.result is None
+                    else f"{s.result.mean_delivered_fraction:.3f}",
+                    "-" if s.result is None else s.result.rebuilds,
+                    "-" if s.result is None else s.result.repairs,
+                ]
+                for s in result.sessions
+            ],
+        )
+    )
+    ceiling = result.bound_sum
+    print(
+        f"aggregate goodput={result.aggregate_goodput:.2f} "
+        f"(ceiling {ceiling:.2f}"
+        + (
+            f", {result.aggregate_goodput / ceiling:.0%}"
+            if math.isfinite(ceiling) and ceiling > 0
+            else ""
+        )
+        + f")  fairness={result.fairness:.3f}  "
+        f"admitted={len(result.admitted)}/{len(result.sessions)}  "
+        f"re-arbitrations={result.rearbitrations}"
+    )
+    if args.estimation == "online":
+        print(
+            f"estimation=online  probes={result.total_probes} "
+            f"(fleet budget {args.probes_per_node:g}/node amortized to "
+            f"{result.probes_per_node:.2f}/node/session)"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "full", False):
@@ -650,6 +878,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "runtime":
         return _cmd_runtime(args)
+    if args.command == "sessions":
+        return _cmd_sessions(args)
     return dispatch[args.command]()
 
 

@@ -31,11 +31,25 @@ reactive baseline by more than the tolerance.
 
 Every repaired scheme is validated (bandwidth, firewall, acyclicity)
 before it is handed to the engine.
+
+Successful repairs of *freshly built* plans are additionally memoized in
+the engine's :class:`~repro.planning.cache.PlanCache` under a
+``(instance, node ids, delta signature)`` key: scenario sweeps replay
+the same failure on the same population constantly (the same trace under
+every transport seed, the same post-departure swarm across controller
+cells), and the repair outcome is a pure function of that key — the
+model a full build leaves behind derives deterministically from the
+memoized :class:`~repro.algorithms.acyclic_guarded.AcyclicSolution`.
+Repairs stacked on already-repaired plans are *not* memoized: their
+packing-pool history is not recoverable from the instance alone, so a
+shared key could alias two different states.  Delta signatures drop the
+event timestamps (a slot-50 departure repairs identically at slot 70).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Optional
+import dataclasses
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Optional
 
 from ..algorithms.acyclic_guarded import PackingState
 from ..core.bounds import cyclic_optimum
@@ -122,6 +136,27 @@ class _OverlayModel:
         if rate:
             self.edges_removed += 1
         return rate
+
+    def clone(self) -> "_OverlayModel":
+        """Independent working copy (for the delta-keyed repair memo).
+
+        Hand-rolled instead of ``copy.deepcopy``: the dict-of-dict
+        adjacency and the packing pools copy in O(n + edges) with small
+        constants, and nothing immutable is duplicated — a deepcopy here
+        costs as much as the repair it memoizes.
+        """
+        dup = _OverlayModel(
+            rate=self.rate,
+            source_bw=self.source_bw,
+            packing=self.packing.remap(None),
+        )
+        dup.kinds = dict(self.kinds)
+        dup.bandwidths = dict(self.bandwidths)
+        dup.out = {i: dict(row) for i, row in self.out.items()}
+        dup.inc = {i: dict(row) for i, row in self.inc.items()}
+        dup.edges_added = self.edges_added
+        dup.edges_removed = self.edges_removed
+        return dup
 
     def _refeed(self, deficits: Dict[int, float]) -> list[int]:
         """Re-feed orphaned receivers from spare credit, earliest first.
@@ -252,6 +287,18 @@ class _OverlayModel:
         )
 
 
+def _clone_plan(plan: Plan) -> Plan:
+    """Independent :class:`Plan` copy sharing the immutable instance."""
+    return Plan(
+        instance=plan.instance,
+        scheme=plan.scheme.copy(),
+        rate=plan.rate,
+        word=plan.word,
+        node_ids=list(plan.node_ids),
+        built_at=plan.built_at,
+    )
+
+
 class IncrementalRepairPlanner(FullRebuildPlanner):
     """Patch the live overlay on churn; rebuild only when it stops paying.
 
@@ -299,6 +346,12 @@ class IncrementalRepairPlanner(FullRebuildPlanner):
 
         if self._model is None or self._plan is not plan:
             return self._fallback(engine, "planner has no model for this plan")
+        events = tuple(events)
+        key = self._delta_key(plan, events)
+        if key is not None:
+            cached = engine.cache.get(key)
+            if cached is not None:
+                return self._restore_cached(engine, plan, cached)
         model = self._model
         departed: list[int] = []
         joined: list[int] = []
@@ -356,7 +409,67 @@ class IncrementalRepairPlanner(FullRebuildPlanner):
             optimal_bound=bound,
             degradation=degradation,
         )
+        if key is not None:
+            # Snapshot the whole post-repair state: a later hit must
+            # resume exactly as if the repair had just been computed.
+            # The model keeps mutating on later deltas, so the stored
+            # copy has to be independent (and so does every hit's).
+            engine.cache.put(
+                key, (_clone_plan(new_plan), self.last_delta, model.clone())
+            )
         return PlanOutcome(new_plan, op="repair", delta=self.last_delta)
+
+    # ------------------------------------------------------------------
+    # Delta-keyed memoization
+    # ------------------------------------------------------------------
+    def _delta_key(
+        self, plan: Plan, events: tuple
+    ) -> Optional[Hashable]:
+        """Cache key for a repair of a *fresh build*; None when unkeyable.
+
+        Only full-build plans qualify (``word`` is emptied by repairs):
+        their packing state is a pure function of the instance, so
+        ``(instance, node ids, delta)`` pins the outcome exactly.
+        """
+        from ..runtime.events import BandwidthDrift, NodeJoin, NodeLeave
+
+        if not plan.word:
+            return None
+        signature = []
+        for ev in events:
+            if isinstance(ev, NodeLeave):
+                signature.append(("leave", ev.node_id))
+            elif isinstance(ev, NodeJoin):
+                signature.append(("join", ev.node_id, ev.kind, ev.bandwidth))
+            elif isinstance(ev, BandwidthDrift):
+                signature.append(("drift", ev.node_id, ev.bandwidth))
+            else:
+                return None
+        return (
+            "repair",
+            plan.instance,
+            tuple(plan.node_ids),
+            tuple(signature),
+            self.tolerance,
+            self.validate,
+        )
+
+    def _restore_cached(
+        self, engine: "RuntimeEngine", plan: Plan, cached: tuple
+    ) -> PlanOutcome:
+        """Re-adopt a memoized repair: same plan, delta and *model* as a
+        fresh computation, with only the timestamps re-anchored."""
+        stored_plan, delta, stored_model = cached
+        new_plan = _clone_plan(stored_plan)
+        model = stored_model.clone()
+        new_plan.built_at = engine.now
+        delta = dataclasses.replace(delta, base_built_at=plan.built_at)
+        self.repairs += 1
+        self.degradation = delta.degradation
+        self.last_delta = delta
+        self._model = model
+        self._plan = new_plan
+        return PlanOutcome(new_plan, op="repair", delta=delta)
 
     def _fallback(self, engine: "RuntimeEngine", reason: str) -> PlanOutcome:
         self.fallbacks += 1

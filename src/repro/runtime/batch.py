@@ -48,7 +48,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class BatchJob:
-    """One engine run: scenario x controller x seed (picklable)."""
+    """One engine run: scenario x controller x seed (picklable).
+
+    ``fleet_kwargs`` switches the job into multi-tenant mode: the worker
+    builds a :func:`~repro.sessions.make_fleet` workload from the
+    scenario and drives a :class:`~repro.sessions.FleetEngine` (the
+    sessions run serially inside the job — the pool already parallelizes
+    across jobs) instead of a single :class:`RuntimeEngine`.
+    """
 
     scenario: Union[str, Scenario]  #: registry name or inline spec
     controller: str  #: controller registry name
@@ -56,6 +63,7 @@ class BatchJob:
     controller_kwargs: tuple = ()  #: sorted (key, value) pairs
     engine_kwargs: tuple = ()  #: sorted (key, value) pairs for RuntimeEngine
     label: str = ""
+    fleet_kwargs: tuple = ()  #: sorted pairs; non-empty = multi-tenant job
 
     @classmethod
     def make(
@@ -66,6 +74,7 @@ class BatchJob:
         *,
         label: str = "",
         engine_kwargs: Optional[dict] = None,
+        fleet_kwargs: Optional[dict] = None,
         **controller_kwargs,
     ) -> "BatchJob":
         return cls(
@@ -75,6 +84,7 @@ class BatchJob:
             controller_kwargs=tuple(sorted(controller_kwargs.items())),
             engine_kwargs=tuple(sorted((engine_kwargs or {}).items())),
             label=label,
+            fleet_kwargs=tuple(sorted((fleet_kwargs or {}).items())),
         )
 
     @property
@@ -112,6 +122,12 @@ class RunSummary:
     #: oracle mode).  Probe values are seeded per pair, so this is as
     #: deterministic as the measurements and participates in equality.
     estimation_error: Optional[float] = None
+    #: Multi-tenant columns (zero / None on single-session jobs).
+    sessions: int = 0  #: sessions the fleet declared
+    admitted: int = 0  #: sessions that passed admission control
+    broker: str = ""  #: capacity-broker policy the fleet ran under
+    fleet_goodput: Optional[float] = None  #: aggregate mean session rate
+    fairness: Optional[float] = None  #: Jain index, ceiling-normalized
     #: Cache traffic this job generated.  Excluded from equality along
     #: with the wall times: the warm state of a worker's cache depends on
     #: which jobs it happened to run before this one, so these vary
@@ -157,6 +173,76 @@ class RunSummary:
             plan_seconds=result.plan_seconds,
         )
 
+    @classmethod
+    def from_fleet(
+        cls, job: BatchJob, fleet_result, wall_time: float
+    ) -> "RunSummary":
+        """Condense a :class:`~repro.sessions.FleetResult` into one row.
+
+        Per-run aggregates are fleet-wide sums (rebuilds, repairs,
+        probes, epochs, alive peers); the quality fractions are plain
+        means over the admitted sessions, and the fleet's own metrics
+        (aggregate goodput, fairness, admission) land in the dedicated
+        multi-tenant columns.
+        """
+        runs = [s.result for s in fleet_result.admitted if s.result]
+        latencies = [lat for r in runs for lat in r.repair_latencies]
+        errors = [
+            r.mean_estimation_error
+            for r in runs
+            if r.mean_estimation_error is not None
+        ]
+
+        def mean(values: list[float]) -> float:
+            # An all-rejected fleet delivered *nothing*: 0.0, never the
+            # single-run "no epochs" convention of 1.0.
+            return sum(values) / len(values) if values else 0.0
+
+        return cls(
+            scenario=job.scenario_name,
+            controller=job.controller,
+            seed=job.seed,
+            horizon=fleet_result.horizon,
+            num_epochs=sum(len(r.epochs) for r in runs),
+            rebuilds=sum(r.rebuilds for r in runs),
+            mean_delivered=round(
+                mean([r.mean_delivered_fraction for r in runs]), 9
+            ),
+            worst_delivered=round(
+                min(
+                    (r.worst_delivered_fraction for r in runs),
+                    default=0.0,
+                ),
+                9,
+            ),
+            mean_optimality=round(
+                mean([r.mean_optimality_fraction for r in runs]), 9
+            ),
+            mean_repair_latency=(
+                round(sum(latencies) / len(latencies), 6)
+                if latencies
+                else None
+            ),
+            final_alive=sum(s.final_alive for s in fleet_result.admitted),
+            planner=runs[0].planner if runs else "full",
+            repairs=sum(r.repairs for r in runs),
+            repair_fallbacks=sum(r.repair_fallbacks for r in runs),
+            estimation=runs[0].estimation if runs else "oracle",
+            probes=sum(r.probes for r in runs),
+            estimation_error=(
+                round(sum(errors) / len(errors), 9) if errors else None
+            ),
+            sessions=len(fleet_result.sessions),
+            admitted=len(fleet_result.admitted),
+            broker=fleet_result.broker,
+            fleet_goodput=round(fleet_result.aggregate_goodput, 9),
+            fairness=round(fleet_result.fairness, 9),
+            cache_hits=sum(r.cache_hits for r in runs),
+            cache_misses=sum(r.cache_misses for r in runs),
+            wall_time=wall_time,
+            plan_seconds=sum(r.plan_seconds for r in runs),
+        )
+
 
 #: One overlay memo per worker, shared across the jobs that worker runs.
 #: Thread-local so concurrent jobs in ``mode="thread"`` never race on the
@@ -173,9 +259,53 @@ def _worker_cache() -> PlanCache:
     return cache
 
 
+def _run_fleet_job(job: BatchJob, started: float) -> RunSummary:
+    """Multi-tenant flavor of :func:`run_job`: one fleet per job.
+
+    The sessions run serially inside the job against the worker's
+    shared :class:`PlanCache` — so a seed sweep replaying the same
+    fleet failure hits both the Theorem 4.1 memo and the delta-keyed
+    repair memo across jobs, exactly like single-tenant sweeps do.
+    Deferred imports keep :mod:`repro.runtime` loadable without the
+    sessions subsystem being imported eagerly everywhere.
+    """
+    from ..sessions import FleetEngine, make_fleet
+
+    cache = _worker_cache()
+    hits0, misses0 = cache.stats()
+    fleet_kwargs = dict(job.fleet_kwargs)
+    fleet = make_fleet(
+        job.scenario,
+        fleet_kwargs.pop("sessions"),
+        job.seed,
+        overlap=fleet_kwargs.pop("overlap", 0.0),
+        demand=fleet_kwargs.pop("session_demand", float("inf")),
+        name=job.scenario_name,
+    )
+    result = FleetEngine.from_fleet(
+        fleet,
+        controller=job.controller,
+        controller_kwargs=dict(job.controller_kwargs),
+        cache=cache,
+        **fleet_kwargs,
+        **dict(job.engine_kwargs),
+    ).run(mode="serial")
+    summary = RunSummary.from_fleet(
+        job, result, wall_time=time.perf_counter() - started
+    )
+    hits1, misses1 = cache.stats()
+    # Per-session RunResults read the *cumulative* shared counters;
+    # report this job's own traffic instead, like the single-run path.
+    return dataclasses.replace(
+        summary, cache_hits=hits1 - hits0, cache_misses=misses1 - misses0
+    )
+
+
 def run_job(job: BatchJob) -> RunSummary:
     """Execute one job start to finish (top-level: picklable for pools)."""
     started = time.perf_counter()
+    if job.fleet_kwargs:
+        return _run_fleet_job(job, started)
     cache = _worker_cache()
     hits0, misses0 = cache.stats()
     spec = (
@@ -249,6 +379,12 @@ def scenario_grid(
     probes_per_node: Optional[float] = None,
     estimator_decay: Optional[float] = None,
     noise_sigma: Optional[float] = None,
+    sessions: Optional[int] = None,
+    broker: Optional[str] = None,
+    overlap: Optional[float] = None,
+    admission: Optional[str] = None,
+    admission_floor: Optional[float] = None,
+    session_demand: Optional[float] = None,
 ) -> list[BatchJob]:
     """The full cross product as a job list (seed-major, stable order).
 
@@ -267,9 +403,37 @@ def scenario_grid(
     :mod:`repro.estimation.online`): probe values derive from per-pair
     counter-based streams, so estimated sweeps stay bit-identical across
     execution modes like everything else.
+
+    ``sessions=K`` switches every job into multi-tenant mode: the worker
+    builds a K-channel fleet over the scenario's shared swarm
+    (:func:`~repro.sessions.make_fleet`) and sweeps it through a
+    :class:`~repro.sessions.FleetEngine`; ``broker`` / ``overlap`` /
+    ``admission`` / ``admission_floor`` / ``session_demand`` configure
+    the fleet and error out when passed without ``sessions``.
     """
     controller_kwargs = controller_kwargs or {}
     engine_kwargs = dict(engine_kwargs or {})
+    fleet_kwargs: Dict[str, object] = {}
+    if sessions is not None:
+        fleet_kwargs["sessions"] = sessions
+        if broker is not None:
+            fleet_kwargs["broker"] = broker
+        if overlap is not None:
+            fleet_kwargs["overlap"] = overlap
+        if admission is not None:
+            fleet_kwargs["admission"] = admission
+        if admission_floor is not None:
+            fleet_kwargs["admission_floor"] = admission_floor
+        if session_demand is not None:
+            fleet_kwargs["session_demand"] = session_demand
+    elif any(
+        v is not None
+        for v in (broker, overlap, admission, admission_floor, session_demand)
+    ):
+        raise ValueError(
+            "broker/overlap/admission/admission_floor/session_demand "
+            "require sessions= (the multi-tenant switch)"
+        )
     if sim_backend is not None:
         engine_kwargs["sim_backend"] = sim_backend
     if warm_epochs is not None:
@@ -292,6 +456,7 @@ def scenario_grid(
             controller,
             seed,
             engine_kwargs=engine_kwargs,
+            fleet_kwargs=fleet_kwargs,
             **controller_kwargs.get(controller, {}),
         )
         for seed in seeds
@@ -301,7 +466,13 @@ def scenario_grid(
 
 
 def summarize_batch(results: Sequence[RunSummary]) -> str:
-    """Render a sweep as the repo's standard fixed-width table."""
+    """Render a sweep as the repo's standard fixed-width table.
+
+    Multi-tenant sweeps grow four fleet columns (broker, admitted
+    sessions, aggregate goodput, fairness); single-session sweeps keep
+    the historical shape.
+    """
+    fleet = any(r.sessions for r in results)
     rows = [
         [
             r.scenario,
@@ -319,6 +490,16 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
             "-" if r.estimation_error is None else f"{r.estimation_error:.3f}",
             f"{r.cache_hits}/{r.cache_hits + r.cache_misses}",
         ]
+        + (
+            [
+                r.broker or "-",
+                f"{r.admitted}/{r.sessions}" if r.sessions else "-",
+                "-" if r.fleet_goodput is None else f"{r.fleet_goodput:.1f}",
+                "-" if r.fairness is None else f"{r.fairness:.3f}",
+            ]
+            if fleet
+            else []
+        )
         for r in results
     ]
     return format_table(
@@ -326,6 +507,7 @@ def summarize_batch(results: Sequence[RunSummary]) -> str:
             "scenario", "controller", "seed", "rebuilds", "repairs",
             "mean dlv", "worst dlv", "mean opt", "repair lat", "alive",
             "estim", "probes", "est err", "cache",
-        ],
+        ]
+        + (["broker", "sessions", "fleet gp", "fairness"] if fleet else []),
         rows,
     )

@@ -65,6 +65,7 @@ derive from per-pair counter-based streams.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -616,10 +617,15 @@ class RuntimeEngine:
         probes, est_error = self._pending_probes, self._pending_est_error
         self._pending_probes, self._pending_est_error = 0, None
         if not alive:
+            # Vacuous epoch: nobody to serve.  A plan built on an empty
+            # swarm carries rate inf (the solver's convention for zero
+            # receivers), which must not leak into slot-weighted means —
+            # report it as 0 and let delivered_fraction read 1.0.
+            rate = plan.rate if math.isfinite(plan.rate) else 0.0
             return EpochReport(
                 start=start, end=end, num_alive=0,
-                planned_rate=plan.rate, optimal_rate=optimal_rate,
-                min_goodput=plan.rate, mean_goodput=plan.rate,
+                planned_rate=rate, optimal_rate=optimal_rate,
+                min_goodput=rate, mean_goodput=rate,
                 starved=0, unserved=0, rebuilt=rebuilt, events=events,
                 plan_op=plan_op, plan_seconds=plan_seconds,
                 probes=probes, estimation_error=est_error,

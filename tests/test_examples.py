@@ -41,6 +41,7 @@ def test_examples_exist():
         "npc_reduction",
         "worst_case_tour",
         "overlay_upgrade",
+        "multi_channel",
     } <= names
 
 

@@ -475,3 +475,81 @@ class TestPlanningCli:
             assert name in text
         for name in planner_names():
             assert name in text
+
+
+class TestDeltaKeyedRepairMemo:
+    """Repair outcomes of fresh builds are memoized under (instance,
+    node ids, delta) keys, so sweeps replaying the same failure across
+    transport seeds hit the cache instead of re-deriving the repair."""
+
+    SPEC = SteadyChurn(size=20, join_rate=0.03, leave_rate=0.03, horizon=240)
+
+    def _run(self, cache, engine_seed):
+        run = self.SPEC.build(3, name="steady-churn")
+        engine = RuntimeEngine(
+            run.platform,
+            run.events,
+            run.horizon,
+            seed=engine_seed,
+            cache=cache,
+            planner="incremental",
+        )
+        return engine.run(make_controller("incremental"))
+
+    def test_replayed_failures_hit_the_cache(self):
+        cache = PlanCache()
+        first = self._run(cache, engine_seed=0)
+        hits_after_first, _ = cache.stats()
+        second = self._run(cache, engine_seed=99)
+        hits_after_second, _ = cache.stats()
+        assert first.repairs > 0
+        # The replay re-solves nothing: every repair (and every build)
+        # of the identical planning trace is served from the memo.
+        assert hits_after_second - hits_after_first >= first.repairs
+        assert second.repairs == first.repairs
+        assert second.repair_fallbacks == first.repair_fallbacks
+
+    def test_cached_repairs_replay_bit_identically(self):
+        shared = PlanCache()
+        self._run(shared, engine_seed=0)
+        warm = self._run(shared, engine_seed=0)  # every repair is a hit
+        cold = self._run(PlanCache(), engine_seed=0)
+        assert warm.epochs == cold.epochs
+        assert warm.repairs == cold.repairs
+        assert warm.rebuilds == cold.rebuilds
+
+    def test_chained_repairs_are_not_memoized(self):
+        """Only fresh-build plans qualify: a repaired plan's packing
+        pools depend on its history, which the instance alone cannot
+        pin, so keying it could alias two different states.  Repaired
+        plans are recognizable by their emptied coding word."""
+        fig1 = figure1_instance()
+        planner = IncrementalRepairPlanner()
+        built = type("P", (), {"word": "gogog", "instance": fig1,
+                               "node_ids": [0, 1]})()
+        repaired = type("P", (), {"word": "", "instance": fig1,
+                                  "node_ids": [0, 1]})()
+        events = (NodeLeave(time=1, node_id=1),)
+        assert planner._delta_key(built, events) is not None
+        assert planner._delta_key(repaired, events) is None
+
+    def test_key_includes_tolerance(self):
+        fig1 = figure1_instance()
+        plan_like = type("P", (), {"word": "g", "instance": fig1,
+                                   "node_ids": [0, 1]})()
+        loose = IncrementalRepairPlanner(tolerance=0.4)
+        tight = IncrementalRepairPlanner(tolerance=0.05)
+        events = (NodeLeave(time=1, node_id=1),)
+        assert (
+            loose._delta_key(plan_like, events)
+            != tight._delta_key(plan_like, events)
+        )
+
+    def test_delta_signature_ignores_event_times(self):
+        fig1 = figure1_instance()
+        plan_like = type("P", (), {"word": "g", "instance": fig1,
+                                   "node_ids": [0, 1]})()
+        planner = IncrementalRepairPlanner()
+        early = planner._delta_key(plan_like, (NodeLeave(time=5, node_id=1),))
+        late = planner._delta_key(plan_like, (NodeLeave(time=80, node_id=1),))
+        assert early == late

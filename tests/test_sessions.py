@@ -1,0 +1,670 @@
+"""Tests for repro.sessions: brokers, fleet engine, admission, routing."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import (
+    fleet_experiment,
+    fleet_flow_report,
+    jain_fairness,
+    warm_snapshot_ab,
+)
+from repro.core.bounds import cyclic_optimum
+from repro.core.instance import NodeKind, canonicalize_population
+from repro.planning import PlanCache
+from repro.runtime import (
+    BandwidthDrift,
+    NodeJoin,
+    NodeLeave,
+    run_batch,
+    scenario_grid,
+    summarize_batch,
+)
+from repro.runtime.scenarios import RackFailure, Scenario, SteadyChurn
+from repro.sessions import (
+    ADMISSIONS,
+    BROKERS,
+    CapacityBroker,
+    FleetEngine,
+    SessionClaim,
+    SessionSpec,
+    admission_names,
+    broker_names,
+    jain_fairness as sessions_jain,
+    lemma51_bound,
+    make_broker,
+    make_fleet,
+)
+from repro.sessions.broker import _waterfill_node
+
+
+def tiny_claims():
+    """Two sessions sharing nodes 1 and 2; node 3 is exclusive to a.
+
+    Sources are provisioned high enough that the member-upload term of
+    Lemma 5.1 binds — allocations then actually move the bounds.
+    """
+    kinds = {1: NodeKind.OPEN, 2: NodeKind.OPEN, 3: NodeKind.OPEN}
+    bandwidths = {1: 4.0, 2: 4.0, 3: 2.0}
+    claims = [
+        SessionClaim(name="a", source_bw=20.0, members=(1, 2, 3)),
+        SessionClaim(name="b", source_bw=20.0, members=(1, 2)),
+    ]
+    return kinds, bandwidths, claims
+
+
+class TestLemmaBound:
+    def test_matches_cyclic_optimum_at_full_allocation(self):
+        kinds = {1: NodeKind.OPEN, 2: NodeKind.GUARDED, 3: NodeKind.OPEN}
+        bandwidths = {1: 5.0, 2: 1.0, 3: 4.0}
+        bound = lemma51_bound(6.0, math.inf, (1, 2, 3), kinds, bandwidths)
+        inst, _ = canonicalize_population(
+            6.0, [(1, 5.0), (3, 4.0)], [(2, 1.0)]
+        )
+        assert bound == pytest.approx(cyclic_optimum(inst))
+
+    def test_demand_caps_the_source_term(self):
+        kinds = {1: NodeKind.OPEN}
+        assert lemma51_bound(10.0, 2.5, (1,), kinds, {1: 50.0}) == 2.5
+
+    def test_memberless_session_is_unbounded(self):
+        assert lemma51_bound(5.0, math.inf, (), {}, {}) == math.inf
+
+    def test_partial_allocation_scales_member_upload(self):
+        kinds = {1: NodeKind.OPEN, 2: NodeKind.OPEN}
+        bandwidths = {1: 8.0, 2: 8.0}
+        full = lemma51_bound(20.0, math.inf, (1, 2), kinds, bandwidths)
+        half = lemma51_bound(
+            20.0, math.inf, (1, 2), kinds, bandwidths, lambda _n: 0.5
+        )
+        assert full == pytest.approx(18.0)  # (20 + 16) / 2
+        assert half == pytest.approx(14.0)  # (20 + 8) / 2
+
+
+class TestBrokers:
+    def test_registry_round_trip(self):
+        assert broker_names() == sorted(BROKERS)
+        for name in broker_names():
+            broker = make_broker(name)
+            assert isinstance(broker, CapacityBroker)
+            assert broker.name == name
+
+    def test_unknown_broker_rejected(self):
+        with pytest.raises(KeyError, match="unknown broker"):
+            make_broker("nope")
+
+    def test_equal_splits_shared_nodes_evenly(self):
+        kinds, bandwidths, claims = tiny_claims()
+        alloc = make_broker("equal").arbitrate(kinds, bandwidths, claims)
+        assert alloc.fraction("a", 1) == pytest.approx(0.5)
+        assert alloc.fraction("b", 1) == pytest.approx(0.5)
+        assert alloc.fraction("a", 3) == pytest.approx(1.0)  # exclusive
+
+    def test_proportional_follows_priority(self):
+        kinds, bandwidths, claims = tiny_claims()
+        claims = [replace(claims[0], priority=3.0), claims[1]]
+        alloc = make_broker("proportional").arbitrate(
+            kinds, bandwidths, claims
+        )
+        assert alloc.fraction("a", 1) > alloc.fraction("b", 1)
+
+    def test_fractions_never_exceed_node_budget(self):
+        kinds, bandwidths, claims = tiny_claims()
+        for name in broker_names():
+            alloc = make_broker(name).arbitrate(kinds, bandwidths, claims)
+            for node in bandwidths:
+                total = sum(
+                    alloc.fraction(c.name, node) for c in claims
+                )
+                assert total <= 1.0 + 1e-9, (name, node)
+
+    def test_waterfill_gives_capped_session_only_its_need(self):
+        # Session a demands a tiny rate; waterfill should leave most of
+        # the shared nodes to best-effort session b, unlike equal.
+        kinds, bandwidths, claims = tiny_claims()
+        claims = [replace(claims[0], demand=0.5), claims[1]]
+        waterfill = make_broker("waterfill").arbitrate(
+            kinds, bandwidths, claims
+        )
+        equal = make_broker("equal").arbitrate(kinds, bandwidths, claims)
+        assert waterfill.bounds["b"] > equal.bounds["b"]
+        assert waterfill.bounds["a"] >= 0.5 - 1e-9
+
+    def test_waterfill_never_starves_a_contender(self):
+        kinds, bandwidths, claims = tiny_claims()
+        alloc = make_broker("waterfill").arbitrate(kinds, bandwidths, claims)
+        assert alloc.bounds["a"] > 0
+        assert alloc.bounds["b"] > 0
+
+    def test_waterfill_node_respects_level(self):
+        grants = _waterfill_node({"a": 0.9, "b": 0.9, "c": 0.1})
+        assert sum(grants.values()) == pytest.approx(1.0)
+        assert grants["c"] == pytest.approx(0.1)
+        assert grants["a"] == grants["b"] == pytest.approx(0.45)
+
+    def test_waterfill_node_is_work_conserving(self):
+        # Fitting requests are scaled up proportionally to exhaust the
+        # node: surplus upload costs nothing and absorbs later churn.
+        grants = _waterfill_node({"a": 0.3, "b": 0.4})
+        assert grants["a"] == pytest.approx(3 / 7)
+        assert grants["b"] == pytest.approx(4 / 7)
+        assert _waterfill_node({"a": 0.0}) == {"a": 0.0}
+
+
+class TestSpecs:
+    def test_session_spec_validation(self):
+        with pytest.raises(ValueError):
+            SessionSpec(name="", source_bw=1.0)
+        with pytest.raises(ValueError):
+            SessionSpec(name="s", source_bw=-1.0)
+        with pytest.raises(ValueError):
+            SessionSpec(name="s", source_bw=1.0, demand=0.0)
+        with pytest.raises(ValueError):
+            SessionSpec(name="s", source_bw=1.0, members=(1, 1))
+
+    def test_make_fleet_is_deterministic(self):
+        a = make_fleet("steady-churn", 3, seed=4, overlap=0.3)
+        b = make_fleet("steady-churn", 3, seed=4, overlap=0.3)
+        assert a.sessions == b.sessions
+        assert a.membership == b.membership
+        assert a.events == b.events
+
+    def test_zero_overlap_partitions_the_swarm(self):
+        fleet = make_fleet("steady-churn", 4, seed=1, overlap=0.0)
+        seen = [n for sp in fleet.sessions for n in sp.members]
+        assert len(seen) == len(set(seen))  # no node in two sessions
+
+    def test_overlap_creates_shared_members(self):
+        fleet = make_fleet("steady-churn", 4, seed=1, overlap=0.8)
+        seen = [n for sp in fleet.sessions for n in sp.members]
+        assert len(seen) > len(set(seen))
+
+    def test_membership_covers_every_event_id(self):
+        fleet = make_fleet("live-stream", 3, seed=2, overlap=0.2)
+        for ev in fleet.events:
+            if isinstance(ev, NodeJoin):
+                assert ev.node_id in fleet.membership
+
+    def test_make_fleet_validates_arguments(self):
+        with pytest.raises(ValueError):
+            make_fleet("steady-churn", 0)
+        with pytest.raises(ValueError):
+            make_fleet("steady-churn", 2, overlap=1.5)
+        with pytest.raises(KeyError):
+            make_fleet("no-such-scenario", 2)
+
+
+class TestAdmission:
+    def test_registry(self):
+        assert admission_names() == sorted(ADMISSIONS)
+        assert ADMISSIONS["reject"].rejects
+        assert not ADMISSIONS["degrade"].rejects
+
+    def test_reject_drops_below_floor_sessions(self):
+        fleet = make_fleet("rack-failure", 4, seed=3, overlap=0.6)
+        result = FleetEngine.from_fleet(
+            fleet, broker="equal", admission="reject", admission_floor=18.0
+        ).run()
+        statuses = {s.name: s.status for s in result.sessions}
+        assert "rejected" in statuses.values()
+        assert result.admission_rate < 1.0
+        # Rejected sessions run nothing; admitted ones all cleared the
+        # floor after their members' capacity was re-arbitrated.
+        for s in result.sessions:
+            if s.status == "rejected":
+                assert s.result is None and s.goodput == 0.0
+            else:
+                assert s.bound >= 18.0
+
+    def test_degrade_keeps_below_floor_sessions_running(self):
+        fleet = make_fleet("rack-failure", 4, seed=3, overlap=0.6)
+        result = FleetEngine.from_fleet(
+            fleet, broker="equal", admission="degrade", admission_floor=18.0
+        ).run()
+        statuses = [s.status for s in result.sessions]
+        assert "degraded" in statuses
+        assert "rejected" not in statuses
+        assert all(s.result is not None for s in result.sessions)
+
+    def test_floor_zero_admits_everyone(self):
+        fleet = make_fleet("rack-failure", 3, seed=0)
+        result = FleetEngine.from_fleet(fleet, admission="reject").run()
+        assert result.admission_rate == 1.0
+
+
+class TestFleetEngine:
+    def test_session_platforms_get_allocated_bandwidth(self):
+        fleet = make_fleet("rack-failure", 2, seed=5, overlap=1.0)
+        engine = FleetEngine.from_fleet(fleet, broker="equal")
+        jobs = engine.prepare()
+        # Full overlap + equal split: every member platform carries half
+        # of the shared node's upload.
+        shared = {
+            i: s.bandwidth for i, s in fleet.platform.nodes.items()
+        }
+        for job in jobs:
+            for node_id, state in job.platform.nodes.items():
+                assert state.bandwidth == pytest.approx(
+                    shared[node_id] / 2
+                )
+
+    def test_shared_leave_reaches_subscribed_sessions(self):
+        fleet = make_fleet("rack-failure", 2, seed=5, overlap=0.0)
+        engine = FleetEngine.from_fleet(fleet)
+        jobs = engine.prepare()
+        shared_leaves = {
+            ev.node_id
+            for ev in fleet.events
+            if isinstance(ev, NodeLeave)
+        }
+        session_leaves = {
+            ev.node_id
+            for job in jobs
+            for ev in job.events
+            if isinstance(ev, NodeLeave)
+        }
+        assert session_leaves == shared_leaves
+
+    def test_rearbitration_emits_drift_to_co_subscribers(self):
+        # A rack failure shifts the sessions' proportional weights (their
+        # solo ceilings shrink unevenly): the broker re-arbitrates and
+        # co-subscribed sessions see the new shares as drift events.
+        fleet = make_fleet("rack-failure", 2, seed=5, overlap=0.7)
+        engine = FleetEngine.from_fleet(fleet, broker="proportional")
+        jobs = engine.prepare()
+        drifts = [
+            ev
+            for job in jobs
+            for ev in job.events
+            if isinstance(ev, BandwidthDrift)
+        ]
+        assert drifts, "re-arbitration must surface as drift events"
+        assert engine.rearbitrations >= 2  # admission + the failure slot
+
+    def test_demand_caps_session_source(self):
+        fleet = make_fleet("rack-failure", 2, seed=1, demand=3.0)
+        jobs = FleetEngine.from_fleet(fleet).prepare()
+        for job in jobs:
+            assert job.platform.source_bw == 3.0
+
+    def test_duplicate_session_names_rejected(self):
+        fleet = make_fleet("rack-failure", 2, seed=1)
+        twice = (fleet.sessions[0], fleet.sessions[0])
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetEngine(
+                fleet.platform, fleet.events, fleet.horizon, twice
+            )
+
+    def test_engine_validates_knobs(self):
+        fleet = make_fleet("rack-failure", 2, seed=1)
+
+        def build(**kwargs):
+            return FleetEngine.from_fleet(
+                make_fleet("rack-failure", 2, seed=1), **kwargs
+            )
+
+        with pytest.raises(ValueError, match="unknown broker"):
+            build(broker="bogus")
+        with pytest.raises(ValueError, match="admission"):
+            build(admission="bogus")
+        with pytest.raises(ValueError, match="admission_floor"):
+            build(admission_floor=-1.0)
+        with pytest.raises(ValueError, match="at least one session"):
+            FleetEngine(fleet.platform, fleet.events, fleet.horizon, ())
+
+    def test_estimation_budget_amortized_fleet_wide(self):
+        fleet = make_fleet("rack-failure", 2, seed=2, overlap=0.5)
+        alive = fleet.platform.num_alive
+        subscriptions = sum(
+            1
+            for sp in fleet.sessions
+            for n in sp.members
+            if fleet.platform.is_alive(n)
+        )
+        engine = FleetEngine.from_fleet(
+            fleet, estimation="online", probes_per_node=4.0
+        )
+        engine.prepare()
+        assert engine.probes_per_node == pytest.approx(
+            4.0 * alive / subscriptions
+        )
+        assert engine.probes_per_node < 4.0  # overlap > 0 shrinks it
+
+    def test_fleet_result_aggregates(self):
+        fleet = make_fleet("rack-failure", 3, seed=0, overlap=0.2)
+        result = FleetEngine.from_fleet(fleet).run()
+        assert result.aggregate_goodput == pytest.approx(
+            sum(s.goodput for s in result.admitted)
+        )
+        assert 0.0 < result.fairness <= 1.0
+        assert result.total_rebuilds >= len(result.admitted)
+
+
+class TestDeterminism:
+    """Fleet results must not depend on execution mode or dispatch order."""
+
+    SPEC = SteadyChurn(size=24, join_rate=0.03, leave_rate=0.03, horizon=200)
+
+    @staticmethod
+    def _run_payload(run):
+        # RunResult.plan_seconds is wall-clock noise, so RunResult
+        # equality is too strict for cross-mode comparison; everything
+        # measured must match bit for bit (EpochReport already excludes
+        # its own plan_seconds from equality).
+        if run is None:
+            return None
+        return (
+            run.epochs, run.rebuilds, run.repairs, run.repair_fallbacks,
+            run.repair_latencies, run.probes, run.cache_hits,
+            run.cache_misses, run.seed,
+        )
+
+    def _payload(self, result):
+        return [
+            (s.name, s.status, s.bound, s.solo_bound,
+             self._run_payload(s.result))
+            for s in result.sessions
+        ]
+
+    def test_serial_thread_process_identical(self):
+        payloads = []
+        for mode in ("serial", "thread", "process"):
+            fleet = make_fleet(self.SPEC, 3, seed=6, overlap=0.4)
+            result = FleetEngine.from_fleet(fleet, broker="waterfill").run(
+                mode=mode, max_workers=2
+            )
+            payloads.append(self._payload(result))
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_results_independent_of_session_order(self):
+        fleet = make_fleet(self.SPEC, 3, seed=6, overlap=0.4)
+        forward = FleetEngine.from_fleet(fleet).run()
+        reversed_fleet = replace(
+            make_fleet(self.SPEC, 3, seed=6, overlap=0.4),
+            sessions=tuple(
+                reversed(make_fleet(self.SPEC, 3, seed=6, overlap=0.4).sessions)
+            ),
+        )
+        backward = FleetEngine.from_fleet(reversed_fleet).run()
+        by_name_fwd = {
+            s.name: self._run_payload(s.result) for s in forward.sessions
+        }
+        by_name_bwd = {
+            s.name: self._run_payload(s.result) for s in backward.sessions
+        }
+        assert by_name_fwd == by_name_bwd
+
+    def test_batch_modes_bit_identical(self):
+        jobs = scenario_grid(
+            ["rack-failure"],
+            ["reactive"],
+            seeds=(0, 1),
+            sessions=2,
+            broker="waterfill",
+            overlap=0.3,
+        )
+        serial = run_batch(jobs, mode="serial")
+        thread = run_batch(jobs, mode="thread", max_workers=2)
+        process = run_batch(jobs, mode="process", max_workers=2)
+        assert serial == thread == process
+        assert all(r.sessions == 2 for r in serial)
+
+    def test_summarize_batch_grows_fleet_columns(self):
+        jobs = scenario_grid(
+            ["rack-failure"], ["reactive"], sessions=2, broker="equal"
+        )
+        table = summarize_batch(run_batch(jobs, mode="serial"))
+        assert "broker" in table and "fairness" in table
+        assert "equal" in table
+
+    def test_grid_rejects_fleet_opts_without_sessions(self):
+        with pytest.raises(ValueError, match="require sessions="):
+            scenario_grid(["rack-failure"], ["reactive"], broker="equal")
+
+
+class TestAnalysis:
+    def test_jain_fairness(self):
+        assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness is sessions_jain
+
+    def test_flow_report_uncontended_waterfill_near_bounds(self):
+        cache = PlanCache()
+        report = fleet_flow_report(
+            60, 3, broker="waterfill", overlap=0.0, seed=9, cache=cache
+        )
+        assert report.aggregate_rate >= 0.9 * report.bound_sum
+        for row in report.sessions:
+            assert row.achieved_rate == pytest.approx(row.solo_rate)
+
+    def test_flow_report_contention_degrades_gracefully(self):
+        report = fleet_flow_report(
+            60, 3, broker="waterfill", overlap=0.5, seed=9
+        )
+        assert report.aggregate_rate < report.bound_sum
+        for row in report.sessions:
+            assert row.achieved_rate > 0
+            assert row.achieved_rate <= row.solo_bound + 1e-6
+
+    def test_fleet_experiment_rows(self):
+        rows = fleet_experiment(
+            scenario=RackFailure(size=16, horizon=160),
+            num_sessions=2,
+            seed=1,
+            overlap=0.2,
+            brokers=("equal", "waterfill"),
+        )
+        assert [r.broker for r in rows] == ["equal", "waterfill"]
+        for row in rows:
+            assert row.admitted == 2
+            assert row.aggregate_goodput > 0
+            assert 0 < row.fairness <= 1.0
+
+
+class TestWarmSnapshotAB:
+    def _setup(self):
+        from repro.instances.families import figure1_instance
+
+        inst = figure1_instance()
+        sol = PlanCache().solve(inst)
+        return inst, sol.scheme, sol.throughput * (1 - 1e-9)
+
+    def test_identical_pre_fork_state(self):
+        inst, scheme, rate = self._setup()
+        report = warm_snapshot_ab(
+            inst,
+            scheme,
+            rate,
+            warm_slots=50,
+            measure_slots=50,
+            variants={"a": None, "b": None},
+        )
+        # Two no-op variants forked from one snapshot are the same run:
+        # bit-identical goodput proves the pre-fork state was identical
+        # (buffers, credits and RNG all restored).
+        assert report.goodputs["a"] == report.goodputs["b"]
+        assert report.fork_slot == 50
+        assert report.pre_fork[0] == 50
+
+    def test_variants_diverge_only_after_fork(self):
+        inst, scheme, rate = self._setup()
+        report = warm_snapshot_ab(
+            inst,
+            scheme,
+            rate,
+            warm_slots=50,
+            measure_slots=60,
+            variants={
+                "control": None,
+                "fail": lambda sim: sim.fail_node(3),
+            },
+        )
+        assert report.min_goodput("fail") < report.min_goodput("control")
+
+    def test_validates_arguments(self):
+        inst, scheme, rate = self._setup()
+        with pytest.raises(ValueError, match="variant"):
+            warm_snapshot_ab(
+                inst, scheme, rate, warm_slots=10, measure_slots=10,
+                variants={},
+            )
+        with pytest.raises(ValueError, match="warm_slots"):
+            warm_snapshot_ab(
+                inst, scheme, rate, warm_slots=-1, measure_slots=10,
+                variants={"a": None},
+            )
+
+
+class TestSessionsCLI:
+    """The sessions subcommand reads its choices from live registries."""
+
+    def test_single_fleet_run(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["sessions", "--scenario", "rack-failure", "--num-sessions",
+             "2", "--seed", "1", "--overlap", "0.2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregate goodput" in out
+        assert "fairness" in out
+
+    def test_list_reads_registries(self, capsys):
+        from repro.cli import main
+
+        assert main(["sessions", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in broker_names():
+            assert name in out
+        for name in admission_names():
+            assert name in out
+
+    def test_unknown_names_list_live_registries(self, capsys):
+        from repro.cli import main
+
+        assert main(["sessions", "--broker", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert all(name in err for name in broker_names())
+        assert main(["sessions", "--admission", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert all(name in err for name in admission_names())
+
+    def test_registered_broker_appears_everywhere(self, capsys):
+        """A plugin broker registers once and shows up in --help, --list
+        and validation — nothing in the CLI is hard-coded."""
+        from repro.cli import build_parser, main
+
+        class PluginBroker(CapacityBroker):
+            name = "plugin-equal"
+
+            def _session_weights(self, kinds, bandwidths, claims):
+                return {claim.name: 1.0 for claim in claims}
+
+        BROKERS[PluginBroker.name] = PluginBroker
+        try:
+            help_text = build_parser().format_help()
+            assert main(["sessions", "--list"]) == 0
+            out = capsys.readouterr().out
+            assert "plugin-equal" in out
+            rc = main(
+                ["sessions", "--scenario", "rack-failure",
+                 "--num-sessions", "2", "--broker", "plugin-equal"]
+            )
+            assert rc == 0
+        finally:
+            del BROKERS[PluginBroker.name]
+
+    def test_help_round_trips_every_registered_name(self, capsys):
+        from repro.cli import build_parser, main
+
+        for broker in broker_names():
+            for admission in admission_names():
+                args = build_parser().parse_args(
+                    ["sessions", "--broker", broker,
+                     "--admission", admission]
+                )
+                assert args.broker == broker
+                assert args.admission == admission
+
+    def test_invalid_numbers_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["sessions", "--num-sessions", "0"]) == 2
+        assert main(["sessions", "--overlap", "1.5"]) == 2
+        assert main(["sessions", "--admission-floor", "-2"]) == 2
+        assert main(["sessions", "--demand", "0"]) == 2
+
+
+class TestEstimationInTheFleet:
+    def test_online_estimation_runs_and_pays_probes(self):
+        fleet = make_fleet(
+            SteadyChurn(size=20, horizon=160), 2, seed=3, overlap=0.3
+        )
+        result = FleetEngine.from_fleet(
+            fleet, estimation="online", probes_per_node=4.0
+        ).run()
+        assert result.total_probes > 0
+        for s in result.admitted:
+            assert s.result.estimation == "online"
+
+
+class TestReviewRegressions:
+    """Fixes surfaced by review: rerunnability, memberless sessions,
+    all-rejected summaries, worker-cache reuse in fleet batch jobs."""
+
+    def test_run_is_repeatable_and_mode_stable(self):
+        fleet = make_fleet("rack-failure", 2, seed=1, overlap=0.3)
+        engine = FleetEngine.from_fleet(fleet)
+        first = engine.run(mode="serial")
+        second = engine.run(mode="serial")  # jobs stay pristine
+        third = engine.run(mode="thread", max_workers=2)
+        for a, b in ((first, second), (first, third)):
+            assert [s.result.epochs for s in a.sessions] == [
+                s.result.epochs for s in b.sessions
+            ]
+            assert a.aggregate_goodput == b.aggregate_goodput
+
+    def test_memberless_sessions_are_rejected_not_infinite(self):
+        fleet = make_fleet(
+            SteadyChurn(size=5, horizon=120), 8, seed=0, overlap=0.0
+        )
+        assert any(
+            not sp.members for sp in fleet.sessions
+        ), "fixture must produce a memberless session"
+        result = FleetEngine.from_fleet(fleet).run()
+        for s in result.sessions:
+            if s.initial_members == 0:
+                assert s.status == "rejected"
+                assert s.ceiling == 0.0
+        assert math.isfinite(result.aggregate_goodput)
+        assert math.isfinite(result.bound_sum)
+        assert 0.0 < result.fairness <= 1.0
+
+    def test_all_rejected_fleet_summarizes_as_zero_delivery(self):
+        jobs = scenario_grid(
+            ["rack-failure"],
+            ["reactive"],
+            sessions=2,
+            admission="reject",
+            admission_floor=1e9,
+        )
+        (summary,) = run_batch(jobs, mode="serial")
+        assert summary.admitted == 0
+        assert summary.mean_delivered == 0.0
+        assert summary.worst_delivered == 0.0
+        assert summary.fleet_goodput == 0.0
+
+    def test_fleet_batch_jobs_share_the_worker_cache(self):
+        jobs = scenario_grid(
+            ["rack-failure"], ["reactive"], seeds=(0, 0), sessions=2
+        )
+        first, repeat = run_batch(jobs, mode="serial")
+        # The identical second job replays entirely from the worker's
+        # shared plan cache: every solve is a hit.
+        assert repeat.cache_hits > 0
+        assert repeat.cache_misses == 0
+        assert first == repeat  # cache reuse never changes measurements
