@@ -27,6 +27,11 @@ from .robustness import (
     clip_to_capacities,
     perturbation_experiment,
 )
+from .service import (
+    ServiceReport,
+    migration_fork_check,
+    service_experiment,
+)
 from .warmstart import WarmForkReport, warm_snapshot_ab
 
 __all__ = [
@@ -53,4 +58,7 @@ __all__ = [
     "jain_fairness",
     "warm_snapshot_ab",
     "WarmForkReport",
+    "service_experiment",
+    "migration_fork_check",
+    "ServiceReport",
 ]

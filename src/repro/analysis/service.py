@@ -1,0 +1,252 @@
+"""Control-plane analysis: admission latency, disruption, warm forks.
+
+:func:`service_experiment` replays one registered request trace
+(:data:`~repro.service.requests.REQUESTS`) through a
+:class:`~repro.service.plane.ControlPlane` once per planning regime and
+condenses each run into a :class:`ServiceReport`:
+
+* **admission latency** — per-request p50/p99 milliseconds and
+  sustained requests/sec, the service-level cost of one mutation under
+  incremental re-arbitration vs. the cold-solve control arm;
+* **preemption disruption** — for every batch containing a
+  ``priority_change``, the grant mass that moved relative to the mass
+  that stood (``sum |g_after - g_before| / sum g_before``), read from
+  the reservation ledger the run journals in memory — preemption is
+  *supposed* to move capacity; this measures how much of the fleet
+  shakes when it does;
+* **migration validation** — the first member-removing
+  ``migrate_session`` of the trace is validated through
+  :func:`~repro.analysis.warmstart.warm_snapshot_ab`: the session's
+  pre-migration plan is warmed in the packet transport, forked, and the
+  migrated-away members are failed in the fork — the surviving
+  receivers' goodput ratio against the control fork shows what
+  re-homing costs *in flight*, not just in the flow model.
+
+The same fleet, trace and seed feed every regime, so differences
+between reports are the planning regime's alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..runtime.scenarios import Scenario
+from ..service.ledger import ReservationLedger
+from ..service.plane import ControlPlane
+from ..service.requests import MigrateSession, make_trace
+from ..sessions import make_fleet
+from .warmstart import warm_snapshot_ab
+
+__all__ = ["ServiceReport", "service_experiment", "migration_fork_check"]
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """One planning regime's outcome on one request trace."""
+
+    trace: str
+    planning: str
+    broker: str
+    num_sessions: int
+    seed: int
+    requests: int
+    batches: int
+    latency_p50_ms: float
+    latency_p99_ms: float
+    requests_per_sec: float
+    builds: int
+    repairs: int
+    fallbacks: int
+    keeps: int
+    arb_hits: int
+    arb_misses: int
+    #: mean ``sum |g_after - g_before| / sum g_before`` over batches
+    #: containing a ``priority_change`` (``nan`` when the trace has none)
+    preemption_disruption: float
+    #: surviving receivers' mean-goodput ratio (migrated fork / control
+    #: fork) for the trace's first member-removing migration (``nan``
+    #: when the trace never migrates members away or validation is off)
+    migration_goodput: float
+
+
+def _preemption_disruption(records: List[dict]) -> float:
+    """Mean grant displacement over priority-change batches (see module
+    docstring); ledger grants are ``{session: {node: bw}}`` payloads."""
+    ratios: List[float] = []
+    prev: Optional[dict] = None
+    for record in records:
+        if record.get("header"):
+            continue
+        grants = record["grants"]
+        if prev is not None and any(
+            req.get("op") == "priority_change" for req in record["requests"]
+        ):
+            moved = 0.0
+            stood = 0.0
+            for name, before in prev.items():
+                after = grants.get(name, {})
+                for node in set(before) | set(after):
+                    moved += abs(after.get(node, 0.0) - before.get(node, 0.0))
+                stood += sum(before.values())
+            if stood > 0:
+                ratios.append(moved / stood)
+        prev = grants
+    return sum(ratios) / len(ratios) if ratios else math.nan
+
+
+def migration_fork_check(
+    plan,
+    removed: Sequence[int],
+    *,
+    warm_slots: int = 40,
+    measure_slots: int = 40,
+    seed: int = 0,
+) -> float:
+    """Warm-fork one plan and fail its migrated-away members.
+
+    Returns the surviving receivers' mean-goodput ratio (departed fork
+    over control fork) — 1.0 means re-homing those members is free for
+    everyone who stayed; see :func:`~repro.analysis.warmstart.
+    warm_snapshot_ab` for the fork invariant.
+    """
+    canonical = {ext: k for k, ext in enumerate(plan.node_ids)}
+    indices = [
+        canonical[n] for n in removed if n in canonical and canonical[n] > 0
+    ]
+    if not indices:
+        raise ValueError("no removed member maps into the plan")
+
+    def depart(sim) -> None:
+        for k in indices:
+            sim.fail_node(k)
+
+    report = warm_snapshot_ab(
+        plan.instance,
+        plan.scheme,
+        plan.rate,
+        warm_slots=warm_slots,
+        measure_slots=measure_slots,
+        variants={"control": None, "departed": depart},
+        seed=seed,
+    )
+    stayed = [
+        k for k in range(1, plan.instance.num_nodes) if k not in set(indices)
+    ]
+    if not stayed:
+        return math.nan
+    # Mean over survivors: the fork applies the departure but *not* the
+    # repair (a snapshot cannot be restored into the re-homed topology),
+    # so this is the in-flight damage between a member leaving and the
+    # plane's repaired plan landing — a starved child of a departed
+    # relay legitimately drags it below 1.
+    control = sum(report.goodputs["control"][k] for k in stayed) / len(stayed)
+    departed = sum(report.goodputs["departed"][k] for k in stayed) / len(stayed)
+    return departed / control if control > 0 else math.nan
+
+
+def service_experiment(
+    scenario: Union[str, Scenario] = "steady-churn",
+    num_sessions: int = 3,
+    seed: int = 0,
+    *,
+    trace: str = "mixed",
+    overlap: float = 0.3,
+    broker: str = "waterfill",
+    admission: str = "reject",
+    admission_floor: float = 0.0,
+    planning_modes: Sequence[str] = ("incremental", "full"),
+    repair_tolerance: float = 0.1,
+    validate_migration: bool = True,
+    warm_slots: int = 40,
+    measure_slots: int = 40,
+) -> List[ServiceReport]:
+    """Replay one request trace under each planning regime.
+
+    The migration warm-fork (deterministic, regime-independent — it
+    validates the *request semantics*, not the planner) runs once,
+    during the first regime, and is stamped on every report.
+    """
+    fleet = make_fleet(scenario, num_sessions, seed, overlap=overlap)
+    batches = make_trace(trace, fleet, seed=seed)
+    reports: List[ServiceReport] = []
+    migration_ratio = math.nan
+    for planning in planning_modes:
+        ledger = ReservationLedger()  # memory-only journal
+        plane = ControlPlane(
+            fleet.platform,
+            broker=broker,
+            admission=admission,
+            admission_floor=admission_floor,
+            planning=planning,
+            repair_tolerance=repair_tolerance,
+            seed=seed,
+            ledger=ledger,
+        )
+        for batch in batches:
+            if (
+                validate_migration
+                and not reports
+                and math.isnan(migration_ratio)
+            ):
+                migration_ratio = _maybe_fork_migration(
+                    plane, batch, warm_slots, measure_slots, seed
+                )
+            plane.submit_batch(batch)
+        stats = plane.stats()
+        reports.append(
+            ServiceReport(
+                trace=trace,
+                planning=planning,
+                broker=broker,
+                num_sessions=num_sessions,
+                seed=seed,
+                requests=stats.requests,
+                batches=stats.batches,
+                latency_p50_ms=stats.latency_p50_ms,
+                latency_p99_ms=stats.latency_p99_ms,
+                requests_per_sec=stats.requests_per_sec,
+                builds=stats.builds,
+                repairs=stats.repairs,
+                fallbacks=stats.fallbacks,
+                keeps=stats.keeps,
+                arb_hits=stats.arb_hits,
+                arb_misses=stats.arb_misses,
+                preemption_disruption=_preemption_disruption(ledger.records),
+                migration_goodput=migration_ratio,
+            )
+        )
+    return reports
+
+
+def _maybe_fork_migration(
+    plane: ControlPlane,
+    batch: Tuple,
+    warm_slots: int,
+    measure_slots: int,
+    seed: int,
+) -> float:
+    """Fork-validate ``batch``'s first member-removing migration against
+    the pre-migration plan, if there is one to validate."""
+    for req in batch:
+        if not isinstance(req, MigrateSession) or not req.remove:
+            continue
+        entry = plane.sessions.get(req.name)
+        if entry is None or entry.plan is None:
+            continue
+        known = set(entry.plan.node_ids)
+        removed = [n for n in req.remove if n in known]
+        if not removed:
+            continue
+        try:
+            return migration_fork_check(
+                entry.plan,
+                removed,
+                warm_slots=warm_slots,
+                measure_slots=measure_slots,
+                seed=seed,
+            )
+        except ValueError:
+            continue
+    return math.nan

@@ -12,13 +12,18 @@ Usage::
     python -m repro runtime --scenario steady-churn --controller reactive
     python -m repro runtime --batch --scenario rack-failure
     python -m repro runtime --estimation online --probes-per-node 4
+    python -m repro serve --trace roaming --ledger /tmp/plane.jsonl
+    python -m repro request --ledger /tmp/plane.jsonl --op query
 
 ``--full`` switches the sweeps to paper scale (equivalent to
 ``REPRO_FULL=1``).  ``solve`` runs the whole pipeline on an ad-hoc
 instance and prints the overlay.  ``runtime`` replays a dynamic-platform
 scenario through the event-driven engine (per-epoch goodput report); in
 ``--batch`` mode it sweeps every controller policy across worker
-processes.
+processes.  ``serve`` drives a registered request trace through the
+long-running control plane (over a real asyncio socket by default),
+and ``request`` submits one ad-hoc request to a plane recovered from
+its reservation ledger.
 """
 
 from __future__ import annotations
@@ -157,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "probes; a measurement is dropped once "
                               "D**age falls below 0.05 "
                               "(--estimation online only)")
+    runtime.add_argument("--estimator-warmstart", action="store_true",
+                         help="seed the online estimator's priors from "
+                              "the plan cache's nearest bandwidth "
+                              "profile instead of cold imputation "
+                              "(--estimation online only)")
     runtime.add_argument("--list", action="store_true", dest="list_names",
                          help="list registered scenarios and controllers")
 
@@ -221,6 +231,98 @@ def build_parser() -> argparse.ArgumentParser:
     sessions.add_argument("--list", action="store_true", dest="list_names",
                           help="list registered scenarios, controllers, "
                                "brokers and admission policies")
+
+    from .service import trace_names
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running broadcast control plane (repro.service)",
+    )
+    serve.add_argument("--scenario", default="steady-churn",
+                       help="registered scenario name for the shared "
+                            "swarm (see --list)")
+    serve.add_argument("--trace", default="mixed",
+                       help="registered request trace to drive through "
+                            "the plane, one of: "
+                            f"{', '.join(trace_names())}")
+    serve.add_argument("--num-sessions", type=int, default=3,
+                       metavar="K",
+                       help="number of concurrent broadcast channels")
+    serve.add_argument("--overlap", type=float, default=0.25,
+                       metavar="P",
+                       help="probability that a node subscribes to each "
+                            "extra session beyond its primary one")
+    serve.add_argument("--broker", default="waterfill",
+                       help="capacity-broker policy, one of: "
+                            f"{', '.join(broker_names())}")
+    serve.add_argument("--admission", default="reject",
+                       help="policy for sessions below the floor, one "
+                            f"of: {', '.join(admission_names())}")
+    serve.add_argument("--admission-floor", type=float, default=0.0,
+                       metavar="RATE",
+                       help="minimum allocated rate bound a session "
+                            "needs to be admitted cleanly")
+    serve.add_argument("--planning", default="incremental",
+                       help="plan lifecycle per session, one of: "
+                            f"{', '.join(planner_names())} "
+                            "('full' is the cold-solve control arm)")
+    serve.add_argument("--repair-tolerance", type=float, default=0.1,
+                       metavar="FRAC",
+                       help="incremental planning only: maximum fraction "
+                            "below optimum a repaired plan may provision "
+                            "before a rebuild is forced")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fleet + trace seed")
+    serve.add_argument("--ledger", default=None, metavar="PATH",
+                       help="journal every batch to this reservation "
+                            "ledger (JSONL) and verify a bit-identical "
+                            "replay after the trace drains")
+    serve.add_argument("--transport", default="tcp",
+                       choices=["tcp", "inproc"],
+                       help="drive the trace over a real asyncio socket "
+                            "server on loopback, or through the "
+                            "in-process codec round-trip")
+    serve.add_argument("--list", action="store_true", dest="list_names",
+                       help="list registered scenarios, traces, brokers, "
+                            "admission policies and planning modes")
+
+    request = sub.add_parser(
+        "request",
+        help="submit one ad-hoc request to a ledger-backed plane",
+    )
+    request.add_argument("--ledger", required=True, metavar="PATH",
+                         help="reservation ledger to recover the plane "
+                              "from (create one with 'serve --ledger'); "
+                              "the request is appended to the journal")
+    request.add_argument("--op", required=True,
+                         choices=["start_session", "stop_session",
+                                  "migrate_session", "priority_change",
+                                  "query"],
+                         help="request type")
+    request.add_argument("--name", default=None,
+                         help="session name (optional for query: omit "
+                              "for a whole-fleet snapshot)")
+    request.add_argument("--source-bw", type=float, default=None,
+                         help="origin uplink bandwidth (start, or "
+                              "re-provision during migrate)")
+    request.add_argument("--demand", type=float, default=None,
+                         help="demand rate for start_session "
+                              "(default: best effort)")
+    request.add_argument("--priority", type=float, default=None,
+                         help="broker weight (start_session / "
+                              "priority_change)")
+    request.add_argument("--members", type=int, nargs="*", default=[],
+                         metavar="NODE",
+                         help="member node ids for start_session")
+    request.add_argument("--add", type=int, nargs="*", default=[],
+                         dest="add_members", metavar="NODE",
+                         help="members to add (migrate_session)")
+    request.add_argument("--remove", type=int, nargs="*", default=[],
+                         dest="remove_members", metavar="NODE",
+                         help="members to remove (migrate_session)")
+    request.add_argument("--no-verify", action="store_true",
+                         help="skip the bit-identical replay check while "
+                              "recovering from the ledger")
     return parser
 
 
@@ -289,6 +391,7 @@ def _cmd_ablations() -> int:
         greedy_vs_exhaustive,
         packing_degree_ablation,
         repair_tolerance_ablation,
+        service_ablation,
         sessions_ablation,
         simulation_backend_ablation,
         source_sensitivity,
@@ -412,6 +515,29 @@ def _cmd_ablations() -> int:
                  f"{r.fairness:.3f}", f"{r.worst_session:.1f}",
                  r.rearbitrations]
                 for r in sessions_ablation()
+            ],
+        )
+    )
+    print()
+    print("Control plane (request traces, incremental re-arbitration vs "
+          "cold solve):")
+
+    def _opt(value: float) -> str:
+        import math as _math
+
+        return "-" if _math.isnan(value) else f"{value:.3f}"
+
+    print(
+        format_table(
+            ["trace", "broker", "planning", "p50 ms", "p99 ms", "req/s",
+             "builds", "repairs", "keeps", "disrupt", "mig good", "speedup"],
+            [
+                [r.trace, r.broker, r.planning,
+                 f"{r.latency_p50_ms:.3f}", f"{r.latency_p99_ms:.3f}",
+                 f"{r.requests_per_sec:.0f}", r.builds, r.repairs, r.keeps,
+                 _opt(r.preemption_disruption), _opt(r.migration_goodput),
+                 f"{r.p50_speedup:.1f}x"]
+                for r in service_ablation()
             ],
         )
     )
@@ -594,6 +720,12 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.estimator_warmstart and args.estimation != "online":
+        print(
+            "error: --estimator-warmstart requires --estimation online",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers is not None and args.workers < 1:
         print(
             f"error: --workers must be >= 1, got {args.workers}",
@@ -622,7 +754,10 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             controller_names(),
             seeds=seeds,
             controller_kwargs={"periodic": {"period": args.period}},
-            engine_kwargs={"min_epoch_slots": args.tick},
+            engine_kwargs={
+                "min_epoch_slots": args.tick,
+                "estimator_warmstart": args.estimator_warmstart,
+            },
             sim_backend=args.sim_backend,
             warm_epochs=args.warm_epochs,
             planner=args.planner,
@@ -667,6 +802,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         probes_per_node=args.probes_per_node,
         estimator_decay=args.estimator_decay,
         noise_sigma=args.noise_sigma,
+        estimator_warmstart=args.estimator_warmstart,
     )
     result = engine.run(controller)
     print(
@@ -862,6 +998,215 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from collections import Counter
+
+    from .experiments.common import format_table
+    from .planning import planner_names
+    from .runtime import scenario_names
+    from .service import (
+        ControlPlane,
+        ControlPlaneClient,
+        ControlPlaneServer,
+        InProcessTransport,
+        ReservationLedger,
+        make_trace,
+        trace_names,
+    )
+    from .sessions import admission_names, broker_names, make_fleet
+
+    if args.list_names:
+        print("scenarios :", ", ".join(scenario_names()))
+        print("traces    :", ", ".join(trace_names()))
+        print("brokers   :", ", ".join(broker_names()))
+        print("admissions:", ", ".join(admission_names()))
+        print("planning  :", ", ".join(planner_names()))
+        return 0
+
+    if args.num_sessions < 1:
+        print(
+            f"error: --num-sessions must be >= 1, got {args.num_sessions}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.overlap <= 1.0:
+        print(
+            f"error: --overlap must be in [0, 1], got {args.overlap}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.repair_tolerance < 1.0:
+        print(
+            f"error: --repair-tolerance must be in [0, 1), "
+            f"got {args.repair_tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        fleet = make_fleet(
+            args.scenario, args.num_sessions, args.seed, overlap=args.overlap
+        )
+        batches = make_trace(args.trace, fleet, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    ledger = ReservationLedger(args.ledger)
+    try:
+        plane = ControlPlane(
+            fleet.platform,
+            broker=args.broker,
+            admission=args.admission,
+            admission_floor=args.admission_floor,
+            planning=args.planning,
+            repair_tolerance=args.repair_tolerance,
+            seed=args.seed,
+            ledger=ledger,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"plane: {fleet.platform.num_alive} shared receivers, trace "
+        f"{args.trace!r} ({len(batches)} batches), broker {args.broker!r}, "
+        f"planning {args.planning!r}, transport {args.transport}, "
+        f"seed {args.seed}"
+    )
+
+    statuses: Counter = Counter()
+    if args.transport == "tcp":
+
+        async def drive() -> None:
+            async with ControlPlaneServer(plane) as server:
+                client = ControlPlaneClient(port=server.port)
+                async with client:
+                    for batch in batches:
+                        for resp in await client.submit_batch(batch):
+                            statuses[resp.status] += 1
+
+        asyncio.run(drive())
+    else:
+        transport = InProcessTransport(plane)
+        for batch in batches:
+            for resp in transport.submit_batch(batch):
+                statuses[resp.status] += 1
+
+    print(
+        format_table(
+            ["session", "status", "members", "granted", "bound",
+             "priority", "builds", "repairs"],
+            [
+                [
+                    name, entry.status, len(entry.spec.members),
+                    f"{sum(entry.grants.values()):.2f}",
+                    f"{entry.bound:.2f}", f"{entry.spec.priority:g}",
+                    entry.builds, entry.repairs,
+                ]
+                for name, entry in sorted(plane.sessions.items())
+            ],
+        )
+    )
+    s = plane.stats()
+    outcome = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+    print(
+        f"requests={s.requests} ({outcome})  batches={s.batches}  "
+        f"p50={s.latency_p50_ms:.3f} ms  p99={s.latency_p99_ms:.3f} ms  "
+        f"{s.requests_per_sec:.0f} req/s"
+    )
+    print(
+        f"plans: builds={s.builds} repairs={s.repairs} "
+        f"(fallbacks={s.fallbacks}) keeps={s.keeps}  "
+        f"arbitration memo {s.arb_hits}/{s.arb_hits + s.arb_misses}"
+    )
+    if args.ledger:
+        ledger.close()
+        ControlPlane.recover(args.ledger, resume_appending=False)
+        print(
+            f"ledger: {len(ledger.records)} records at {args.ledger}; "
+            f"replay verified bit-identical"
+        )
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from .service import (
+        ControlPlane,
+        MigrateSession,
+        PriorityChange,
+        Query,
+        StartSession,
+        StopSession,
+    )
+
+    if args.op != "query" and not args.name:
+        print(f"error: --op {args.op} requires --name", file=sys.stderr)
+        return 2
+    if args.op == "start_session":
+        if args.source_bw is None:
+            print(
+                "error: --op start_session requires --source-bw",
+                file=sys.stderr,
+            )
+            return 2
+        req = StartSession(
+            name=args.name,
+            source_bw=args.source_bw,
+            demand=math.inf if args.demand is None else args.demand,
+            priority=1.0 if args.priority is None else args.priority,
+            members=tuple(args.members),
+        )
+    elif args.op == "stop_session":
+        req = StopSession(name=args.name)
+    elif args.op == "migrate_session":
+        if not (args.add_members or args.remove_members
+                or args.source_bw is not None):
+            print(
+                "error: --op migrate_session requires --add, --remove "
+                "and/or --source-bw",
+                file=sys.stderr,
+            )
+            return 2
+        req = MigrateSession(
+            name=args.name,
+            add=tuple(args.add_members),
+            remove=tuple(args.remove_members),
+            source_bw=args.source_bw,
+        )
+    elif args.op == "priority_change":
+        if args.priority is None:
+            print(
+                "error: --op priority_change requires --priority",
+                file=sys.stderr,
+            )
+            return 2
+        req = PriorityChange(name=args.name, priority=args.priority)
+    else:
+        req = Query(name=args.name)
+
+    try:
+        plane = ControlPlane.recover(args.ledger, verify=not args.no_verify)
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    resp = plane.submit(req)
+    if plane.ledger is not None:
+        plane.ledger.close()
+    if resp.status == "error":
+        print(f"error: {resp.error}", file=sys.stderr)
+        return 1
+    print(
+        f"{resp.op} {resp.name!r}: {resp.status}  bound={resp.bound:.3f}  "
+        f"seq={resp.seq}  ({resp.latency_ms:.3f} ms)"
+    )
+    if resp.state is not None:
+        print(json.dumps(resp.state, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "full", False):
@@ -880,6 +1225,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_runtime(args)
     if args.command == "sessions":
         return _cmd_sessions(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
     return dispatch[args.command]()
 
 

@@ -27,6 +27,10 @@ one design decision of the system and quantifies what it buys.
   measurement loop costs end to end, churn included (the flow-level
   probe-budget x noise sweep lives in
   :mod:`repro.analysis.estimation_gap`).
+* :func:`service_ablation` — control-plane request traces replayed
+  under incremental re-arbitration vs the cold-solve control arm:
+  per-request admission latency, throughput, and what each mutation
+  disrupts (:mod:`repro.analysis.service`).
 """
 
 from __future__ import annotations
@@ -74,6 +78,8 @@ __all__ = [
     "estimation_ablation",
     "SessionsRow",
     "sessions_ablation",
+    "ServiceRow",
+    "service_ablation",
 ]
 
 
@@ -622,4 +628,95 @@ def sessions_ablation(
                 rearbitrations=result.rearbitrations,
             )
         )
+    return rows
+
+
+@dataclass(frozen=True)
+class ServiceRow:
+    """One planning regime's service levels on one request trace."""
+
+    trace: str
+    broker: str
+    planning: str
+    latency_p50_ms: float
+    latency_p99_ms: float
+    requests_per_sec: float
+    builds: int
+    repairs: int
+    keeps: int
+    preemption_disruption: float  #: nan when the trace never preempts
+    migration_goodput: float  #: nan when the trace never migrates away
+    p50_speedup: float  #: cold-solve p50 / this regime's p50 (1.0 for full)
+
+
+def service_ablation(
+    num_sessions: int = 3,
+    size: int = 240,
+    horizon: int = 240,
+    seed: int = 7,
+    overlap: float = 0.3,
+) -> list[ServiceRow]:
+    """Control-plane request traces, incremental vs cold-solve.
+
+    Three registered traces against one shared fleet, each replayed
+    under both planning regimes of the
+    :class:`~repro.service.plane.ControlPlane`: ``mixed`` (starts,
+    migrations, priority changes and stops interleaved), ``roaming``
+    (one channel repeatedly swapping members drawn from a shared pool
+    — the pure cost of *small* mutations), and ``priority-storm`` (the
+    preemption column; brokered ``proportional`` so priority actually
+    moves capacity).  The speedup column is the cold-solve regime's
+    per-request p50 over the row's own — what change tracking buys the
+    admission path.  The contrast is the point: roaming mutations stay
+    inside one arbitration component, so incremental planning skips
+    every untouched session; a priority storm moves *every* session's
+    grants, so there is nothing to skip and the regimes converge
+    (the scale-up story lives in ``benchmarks/test_bench_service.py``).
+    """
+    from ..analysis.service import service_experiment
+    from ..runtime import SteadyChurn
+
+    spec = SteadyChurn(
+        size=size, horizon=horizon, join_rate=0.02, leave_rate=0.02
+    )
+    rows = []
+    for trace, broker in (
+        ("mixed", "waterfill"),
+        ("roaming", "equal"),
+        ("priority-storm", "proportional"),
+    ):
+        reports = service_experiment(
+            spec,
+            num_sessions,
+            seed,
+            trace=trace,
+            overlap=overlap,
+            broker=broker,
+            validate_migration=(trace == "mixed"),
+        )
+        full_p50 = next(
+            (r.latency_p50_ms for r in reports if r.planning == "full"),
+            float("nan"),
+        )
+        for rep in reports:
+            rows.append(
+                ServiceRow(
+                    trace=trace,
+                    broker=broker,
+                    planning=rep.planning,
+                    latency_p50_ms=rep.latency_p50_ms,
+                    latency_p99_ms=rep.latency_p99_ms,
+                    requests_per_sec=rep.requests_per_sec,
+                    builds=rep.builds,
+                    repairs=rep.repairs,
+                    keeps=rep.keeps,
+                    preemption_disruption=rep.preemption_disruption,
+                    migration_goodput=rep.migration_goodput,
+                    p50_speedup=(
+                        full_p50 / rep.latency_p50_ms
+                        if rep.latency_p50_ms > 0
+                        else float("nan")
+                    ),
+                )
+            )
     return rows

@@ -22,6 +22,7 @@ Planners are registered by name in :data:`PLANNERS` and spawned via
 :func:`make_planner`, mirroring the controller registry.
 """
 
+from .batching import coalesce_events
 from .cache import CacheStats, PlanCache
 from .plan import Plan, PlanDelta, PlanOutcome
 from .planner import (
@@ -45,6 +46,7 @@ __all__ = [
     "FullRebuildPlanner",
     "IncrementalRepairPlanner",
     "PLANNERS",
+    "coalesce_events",
     "make_planner",
     "planner_names",
 ]

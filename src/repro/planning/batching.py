@@ -1,0 +1,139 @@
+"""Multi-event repair batching: one storm, one delta.
+
+A flash crowd (or a broker re-arbitration rippling over K sessions)
+hands the planner a *burst* of events.  Feeding them to
+:meth:`~repro.planning.repair.IncrementalRepairPlanner.replan` one by
+one pays the planner's fixed per-call cost — materialize + Lemma 5.1
+bound + validation, each O(n) — once per event; feeding the whole burst
+in one call pays it once.  :func:`coalesce_events` makes the second
+shape safe and minimal: it folds a burst down to the *net* effect per
+node, so a peer that joined and left inside the same batch vanishes
+entirely, consecutive drifts collapse to the last value, and a
+join-then-drift arrives as a single join at the final bandwidth.
+
+Folding rules, per node id (events for distinct nodes never interact):
+
+====================  ==========================================
+burst (in order)      net event
+====================  ==========================================
+join, drift*          join at the last drifted bandwidth
+join, ..., leave      nothing (the peer was never really there)
+drift, drift, ...     one drift at the last bandwidth
+drift*, leave         leave (the drifts died with the peer)
+leave, join           leave then join (re-occupied id: the old
+                      overlay edges are gone either way)
+====================  ==========================================
+
+The output is ordered **leaves, then drifts, then joins** (each group
+sorted by node id): departures free pool credit that re-feeds drifted
+and joining peers, so this order maximizes the chance the repair
+succeeds without a rebuild.  All returned events carry the timestamp of
+the *last* event in the burst — the batch boundary, which is when the
+net effect takes hold.
+
+Anonymous joins (``node_id is None``) cannot be folded (there is no
+identity to match on) and are passed through unchanged, after the named
+groups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.events import Event
+
+__all__ = ["coalesce_events"]
+
+
+def coalesce_events(events: Iterable[Event]) -> Tuple[Event, ...]:
+    """Fold an event burst into its net per-node effect (see module doc).
+
+    Returns a tuple suitable for a single
+    :meth:`~repro.planning.planner.Planner.replan` call: leaves first,
+    then drifts, then joins, then any unfoldable anonymous joins, all
+    stamped with the burst's final timestamp.  An empty burst returns
+    ``()``.  Bursts that are invalid as a sequence (a double join, a
+    drift on a departed peer) raise ``ValueError`` — the platform would
+    have rejected them too.
+    """
+    # Deferred import: repro.runtime imports repro.planning at module
+    # load, so the event types can only be resolved lazily here (same
+    # idiom as repro.planning.repair).
+    from ..runtime.events import BandwidthDrift, NodeJoin, NodeLeave
+
+    events = tuple(events)
+    if not events:
+        return ()
+    when = events[-1].time
+    # Per-node net state:
+    #   ("join", kind, bw)        absent at burst start, present after
+    #   ("drift", bw)             present throughout, bandwidth changed
+    #   ("leave",)                present at burst start, gone after
+    #   ("leave+join", kind, bw)  id re-occupied inside the burst
+    net: Dict[int, tuple] = {}
+    anonymous: List[Event] = []
+
+    for ev in events:
+        if isinstance(ev, NodeJoin):
+            if ev.node_id is None:
+                anonymous.append(dataclasses.replace(ev, time=when))
+                continue
+            node = ev.node_id
+            state = net.get(node)
+            if state is None:
+                net[node] = ("join", ev.kind, ev.bandwidth)
+            elif state[0] == "leave":
+                net[node] = ("leave+join", ev.kind, ev.bandwidth)
+            else:
+                raise ValueError(
+                    f"node {node} joined while already present in the burst"
+                )
+        elif isinstance(ev, NodeLeave):
+            node = ev.node_id
+            state = net.get(node)
+            if state is None or state[0] == "drift":
+                net[node] = ("leave",)
+            elif state[0] == "join":
+                del net[node]  # came and went: a no-op for the plan
+            elif state[0] == "leave+join":
+                net[node] = ("leave",)
+            else:
+                raise ValueError(f"node {node} left twice inside one burst")
+        elif isinstance(ev, BandwidthDrift):
+            node = ev.node_id
+            state = net.get(node)
+            if state is None:
+                net[node] = ("drift", ev.bandwidth)
+            elif state[0] == "join":
+                net[node] = ("join", state[1], ev.bandwidth)
+            elif state[0] == "drift":
+                net[node] = ("drift", ev.bandwidth)
+            elif state[0] == "leave+join":
+                net[node] = ("leave+join", state[1], ev.bandwidth)
+            else:
+                raise ValueError(
+                    f"node {node} drifted after leaving inside one burst"
+                )
+        else:
+            raise TypeError(f"unknown event type {type(ev).__name__}")
+
+    leaves: List[Event] = []
+    drifts: List[Event] = []
+    joins: List[Event] = []
+    for node in sorted(net):
+        state = net[node]
+        if state[0] in ("leave", "leave+join"):
+            leaves.append(NodeLeave(time=when, node_id=node))
+        if state[0] == "drift":
+            drifts.append(
+                BandwidthDrift(time=when, node_id=node, bandwidth=state[1])
+            )
+        if state[0] in ("join", "leave+join"):
+            joins.append(
+                NodeJoin(
+                    time=when, kind=state[1], bandwidth=state[2], node_id=node
+                )
+            )
+    return tuple(leaves + drifts + joins + anonymous)

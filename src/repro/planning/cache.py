@@ -21,6 +21,7 @@ surfaced so sweeps can report how much recomputation the cache absorbed.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
@@ -119,6 +120,35 @@ class PlanCache:
     def optimal_rate(self, instance: Instance) -> float:
         """``T*_ac`` of ``instance`` (through the same memo)."""
         return self.solve(instance).throughput
+
+    def nearest_profile(
+        self, n: int, m: int
+    ) -> Optional[Instance]:
+        """The solved instance whose population is closest to ``(n, m)``.
+
+        Scans the :class:`~repro.core.instance.Instance` keys the memo
+        currently holds (recent solves first) and returns the one
+        minimizing ``|n' - n| + |m' - m|`` — ties go to the most
+        recently used.  ``None`` when no instance has been solved yet.
+
+        This is the estimator warm-start hook: a fresh session on a
+        known scenario family seeds its
+        :class:`~repro.estimation.online.OnlineEstimator` from the
+        nearest cached plan's bandwidth profile instead of a flat
+        prior, skipping the cold-imputation epochs (the lookup never
+        touches hit/miss counters — it is bookkeeping, not a solve).
+        """
+        best: Optional[Instance] = None
+        best_score = math.inf
+        for key in reversed(self._store):
+            if not isinstance(key, Instance):
+                continue
+            score = abs(key.n - n) + abs(key.m - m)
+            if score < best_score:
+                best, best_score = key, score
+                if score == 0:
+                    break
+        return best
 
     # ------------------------------------------------------------------
     # Counters

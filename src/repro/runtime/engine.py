@@ -249,6 +249,7 @@ class RuntimeEngine:
         probes_per_node: float = 4.0,
         estimator_decay: float = 0.8,
         noise_sigma: float = 0.1,
+        estimator_warmstart: bool = False,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -310,6 +311,10 @@ class RuntimeEngine:
             )
         if noise_sigma < 0:
             raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        if estimator_warmstart and estimation != "online":
+            raise ValueError(
+                "estimator_warmstart requires estimation='online'"
+            )
         self.platform = platform
         self.queue = EventQueue(events)
         self.horizon = int(horizon)
@@ -358,6 +363,9 @@ class RuntimeEngine:
                 ),
                 OnlineEstimator(decay=estimator_decay),
             )
+        self.estimator_warmstart = bool(estimator_warmstart)
+        if self.estimator_warmstart and self._view is not None:
+            self._seed_estimator_from_cache()
         self._pending_probes = 0
         self._pending_est_error: Optional[float] = None
         #: Truth-clipped transport scheme, memoized per installed plan.
@@ -367,6 +375,43 @@ class RuntimeEngine:
     # ------------------------------------------------------------------
     # Estimation seam
     # ------------------------------------------------------------------
+    def _seed_estimator_from_cache(self) -> None:
+        """Estimator warm-start: seed priors from the nearest cached plan.
+
+        ``start_session`` on a known scenario family re-solves
+        populations the shared :class:`~repro.planning.PlanCache` has
+        already seen; their class-sorted bandwidth profiles are the
+        tracker's institutional memory.  The profile closest in
+        ``(n, m)`` to the current roster is assigned to the alive peers
+        class-by-class (profile values in canonical non-increasing
+        order, peers in id order, cyclically when sizes differ), so the
+        estimator's pre-probe view carries the family's bandwidth
+        *distribution* instead of a flat ``prior_bw`` — cold imputation
+        is skipped without leaking any oracle per-peer value.  A cold
+        cache leaves the estimator untouched.
+        """
+        from ..core.instance import NodeKind
+
+        opens = []
+        guardeds = []
+        for node_id, state in sorted(self.platform.nodes.items()):
+            if not state.alive:
+                continue
+            (opens if state.kind == NodeKind.OPEN else guardeds).append(node_id)
+        profile = self.cache.nearest_profile(len(opens), len(guardeds))
+        if profile is None:
+            return
+        warm: dict[int, float] = {}
+        if profile.open_bws:
+            for k, ext in enumerate(opens):
+                warm[ext] = profile.open_bws[k % len(profile.open_bws)]
+        if profile.guarded_bws:
+            for k, ext in enumerate(guardeds):
+                warm[ext] = profile.guarded_bws[k % len(profile.guarded_bws)]
+        if warm:
+            assert self._view is not None
+            self._view.estimator.warm_start(warm)
+
     @property
     def view(self) -> Union[DynamicPlatform, EstimatedPlatformView]:
         """The platform *as planners see it*: the oracle

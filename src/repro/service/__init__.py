@@ -1,0 +1,78 @@
+"""The broadcast control plane: operate a fleet, don't just simulate one.
+
+Every other entry point in this repository is a *batch* run — a
+precomputed event list driven through an engine, cold.  This subsystem
+is the long-running alternative: a :class:`~repro.service.plane.
+ControlPlane` holds K live sessions over one shared platform and
+accepts a *stream* of typed requests (:mod:`repro.service.requests`):
+``start_session`` (admission-controlled), ``stop_session``,
+``migrate_session`` (re-home members/origin without a cold restart),
+``priority_change`` (broker preemption mid-run) and ``query``.
+
+Each mutating request triggers one **incremental re-arbitration**: the
+:class:`~repro.sessions.broker.CapacityBroker` re-splits the shared
+upload, only sessions whose grants actually moved receive churn events,
+those events are coalesced (:func:`~repro.planning.coalesce_events`)
+and handed to the session's
+:class:`~repro.planning.IncrementalRepairPlanner` as **one** delta —
+admission latency is a repair, not a cold solve.  A request *burst*
+submitted as one batch pays one re-arbitration and at most one delta
+per session, however many requests it contains.
+
+Every batch is journaled in an append-only JSONL **reservation ledger**
+(:mod:`repro.service.ledger`): replaying the journal through a fresh
+plane deterministically reconstructs broker state, grants and plans
+bit-identically, so a restarted server resumes exactly where it died
+(:meth:`~repro.service.plane.ControlPlane.recover`).
+
+Transports live in :mod:`repro.service.server`: an asyncio
+newline-delimited-JSON :class:`~repro.service.server.ControlPlaneServer`
+/ :class:`~repro.service.server.ControlPlaneClient` pair plus a
+socket-free :class:`~repro.service.server.InProcessTransport` that
+still round-trips every request through the wire codec.
+"""
+
+from .ledger import ReservationLedger
+from .plane import ControlPlane, ServiceStats
+from .requests import (
+    REQUESTS,
+    MigrateSession,
+    PriorityChange,
+    Query,
+    Request,
+    RequestTrace,
+    Response,
+    StartSession,
+    StopSession,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    make_trace,
+    trace_names,
+)
+from .server import ControlPlaneClient, ControlPlaneServer, InProcessTransport
+
+__all__ = [
+    "REQUESTS",
+    "ControlPlane",
+    "ControlPlaneClient",
+    "ControlPlaneServer",
+    "InProcessTransport",
+    "MigrateSession",
+    "PriorityChange",
+    "Query",
+    "Request",
+    "RequestTrace",
+    "ReservationLedger",
+    "Response",
+    "ServiceStats",
+    "StartSession",
+    "StopSession",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "make_trace",
+    "trace_names",
+]

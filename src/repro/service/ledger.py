@@ -1,0 +1,74 @@
+"""The reservation ledger: an append-only JSONL journal of admissions.
+
+One line per record.  The first record is the **header** — the plane's
+full configuration plus a snapshot of the shared platform — and every
+later record is one request *batch*: the encoded requests, their
+(timing-stripped) responses, and the complete post-batch reservation
+state (per-session grants, Lemma 5.1 bounds, plan operations).
+
+Replay is deterministic reconstruction, not log-structured state: a
+fresh :class:`~repro.service.plane.ControlPlane` built from the header
+re-submits every recorded batch through the *same* pure pipeline
+(broker arbitration -> grant diff -> coalesced repair delta) and must
+land on bit-identical grants — floats survive JSON exactly
+(``json.dumps``/``loads`` round-trips ``repr``), so the comparison is
+``==``, not "close".  A mismatch means the code path changed under the
+journal and :meth:`~repro.service.plane.ControlPlane.recover` raises
+rather than resume from a state the journal does not describe.
+
+The file handle is opened lazily in append mode and flushed per record
+(durability against process death; no fsync — the journal guards
+against crashes of *this* process, not the machine).  A ledger with
+``path=None`` is memory-only: same record stream, nothing on disk —
+what the latency benchmarks use so disk flush noise never pollutes
+admission percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, List, Optional
+
+__all__ = ["ReservationLedger"]
+
+
+class ReservationLedger:
+    """Append-only JSONL journal (see module docstring)."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.records: List[dict] = []  #: records appended *by this handle*
+        self._file: Optional[IO[str]] = None
+
+    def append(self, record: dict) -> None:
+        """Journal one record (one JSON object, one line, flushed)."""
+        self.records.append(record)
+        if self.path is None:
+            return
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "ReservationLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: str) -> List[dict]:
+        """Load every record of a journal (empty file -> empty list)."""
+        records = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

@@ -428,7 +428,12 @@ class FleetEngine:
             status[victim.name] = "rejected"
             active.remove(victim)
             if not active:
-                return active, status, alloc
+                # Every session was rejected: the last trial allocation
+                # still carries the victims' grants and bounds, and
+                # returning it would leak them into initial/min-bound
+                # accounting (and into any replayed admission round).
+                # Nobody is admitted, so nobody holds capacity.
+                return active, status, Allocation()
 
     def _membership_of(self, node_id: int) -> tuple[str, ...]:
         """Sessions a node subscribes to; unknown ids (anonymous joins)

@@ -1,0 +1,764 @@
+"""Tests for repro.service: codec, control plane, ledger, transports.
+
+Also covers the satellite pieces the service consumes: multi-event
+coalescing (:func:`repro.planning.coalesce_events`), the estimator
+warm-start seam, and the FleetEngine reject-all allocation fix.
+"""
+
+import asyncio
+import json
+import math
+import random
+
+import pytest
+
+from repro.analysis import migration_fork_check, service_experiment
+from repro.core.instance import Instance, NodeKind
+from repro.estimation.online import OnlineEstimator
+from repro.planning import PlanCache, coalesce_events
+from repro.runtime import (
+    BandwidthDrift,
+    NodeJoin,
+    NodeLeave,
+    RuntimeEngine,
+)
+from repro.runtime.events import DynamicPlatform
+from repro.runtime.scenarios import SteadyChurn
+from repro.service import (
+    REQUESTS,
+    ControlPlane,
+    ControlPlaneClient,
+    ControlPlaneServer,
+    InProcessTransport,
+    MigrateSession,
+    PriorityChange,
+    Query,
+    ReservationLedger,
+    StartSession,
+    StopSession,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    make_trace,
+    trace_names,
+)
+from repro.sessions import FleetEngine, make_fleet
+
+
+def small_platform(n: int = 6, seed: int = 0) -> DynamicPlatform:
+    rng = random.Random(seed)
+    inst = Instance(
+        12.0, tuple(round(rng.uniform(1.0, 6.0), 2) for _ in range(n)), ()
+    )
+    return DynamicPlatform.from_instance(inst)
+
+
+def small_fleet(num_sessions: int = 2, seed: int = 0, overlap: float = 0.4):
+    spec = SteadyChurn(size=18, horizon=60, join_rate=0.02, leave_rate=0.02)
+    return make_fleet(spec, num_sessions, seed, overlap=overlap)
+
+
+ALL_REQUESTS = [
+    StartSession(
+        name="a", source_bw=5.0, demand=math.inf, priority=2.0,
+        members=(1, 2, 3),
+    ),
+    StartSession(name="b", source_bw=3.0, demand=4.5, members=(2,)),
+    StopSession(name="a"),
+    MigrateSession(name="a", add=(4, 5), remove=(1,), source_bw=6.0),
+    MigrateSession(name="a", add=(4,)),
+    PriorityChange(name="b", priority=0.25),
+    Query(),
+    Query(name="a"),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("req", ALL_REQUESTS, ids=lambda r: repr(r))
+    def test_request_roundtrip(self, req):
+        wire = json.loads(json.dumps(encode_request(req)))
+        assert decode_request(wire) == req
+
+    def test_infinite_demand_survives_json(self):
+        req = StartSession(name="x", source_bw=1.0, members=(1,))
+        wire = json.loads(json.dumps(encode_request(req)))
+        assert decode_request(wire).demand == math.inf
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown request op"):
+            decode_request({"op": "reboot"})
+
+    def test_response_roundtrip_and_timing_strip(self):
+        plane = ControlPlane(small_platform())
+        resp = plane.submit(
+            StartSession(name="s", source_bw=4.0, members=(1, 2))
+        )
+        wire = json.loads(json.dumps(encode_response(resp)))
+        assert decode_response(wire) == resp
+        assert "latency_ms" not in encode_response(resp, timing=False)
+        # timing is measurement, not state: equality ignores it
+        assert decode_response(
+            json.loads(json.dumps(encode_response(resp, timing=False)))
+        ) == resp
+
+
+class TestPlaneSemantics:
+    def test_start_stop_query(self):
+        plane = ControlPlane(small_platform())
+        resp = plane.submit(
+            StartSession(name="s", source_bw=4.0, members=(1, 2, 3))
+        )
+        assert resp.status == "admitted"
+        assert resp.bound > 0
+        snap = plane.submit(Query(name="s"))
+        assert snap.state["members"] == 3
+        assert snap.state["plan_rate"] > 0
+        fleet_snap = plane.submit(Query())
+        assert set(fleet_snap.state["sessions"]) == {"s"}
+        assert plane.submit(StopSession(name="s")).status == "stopped"
+        assert plane.sessions == {}
+
+    def test_duplicate_start_errors(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1,)))
+        resp = plane.submit(
+            StartSession(name="s", source_bw=4.0, members=(1,))
+        )
+        assert resp.status == "error"
+        assert "already running" in resp.error
+
+    def test_unknown_session_errors(self):
+        plane = ControlPlane(small_platform())
+        for req in (
+            StopSession(name="ghost"),
+            PriorityChange(name="ghost", priority=2.0),
+            Query(name="ghost"),
+            MigrateSession(name="ghost", add=(1,)),
+        ):
+            resp = plane.submit(req)
+            assert resp.status == "error"
+            assert "unknown session" in resp.error
+
+    def test_memberless_start_rejected(self):
+        plane = ControlPlane(small_platform())
+        resp = plane.submit(
+            StartSession(name="s", source_bw=4.0, members=(99,))
+        )
+        assert resp.status == "rejected"
+        assert "no alive members" in resp.error
+        assert plane.sessions == {}
+
+    def test_migrate_moves_members(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1, 2)))
+        resp = plane.submit(MigrateSession(name="s", add=(3,), remove=(1,)))
+        assert resp.status == "applied"
+        assert plane.sessions["s"].spec.members == (2, 3)
+        assert set(plane.sessions["s"].grants) == {2, 3}
+
+    def test_migrate_validation(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1, 2)))
+        cases = [
+            (MigrateSession(name="s", remove=(5,)), "not a member"),
+            (MigrateSession(name="s", add=(2,)), "already a member"),
+            (MigrateSession(name="s", add=(99,)), "unknown on the shared"),
+        ]
+        for req, needle in cases:
+            resp = plane.submit(req)
+            assert resp.status == "error"
+            assert needle in resp.error
+            # failed requests mutate nothing
+            assert plane.sessions["s"].spec.members == (1, 2)
+
+    def test_migrate_source_bw_forces_rebuild(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1, 2)))
+        builds = plane.sessions["s"].builds
+        plane.submit(MigrateSession(name="s", source_bw=8.0))
+        assert plane.sessions["s"].builds == builds + 1
+        assert plane.sessions["s"].platform.source_bw == 8.0
+
+    def test_migrate_to_empty_idles_session(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1,)))
+        plane.submit(MigrateSession(name="s", remove=(1,)))
+        entry = plane.sessions["s"]
+        assert entry.plan is None and entry.grants == {}
+        # a later migrate re-populates and replans
+        plane.submit(MigrateSession(name="s", add=(2, 3)))
+        assert plane.sessions["s"].plan is not None
+
+    def test_priority_change_applies(self):
+        plane = ControlPlane(small_platform())
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1,)))
+        resp = plane.submit(PriorityChange(name="s", priority=7.0))
+        assert resp.status == "applied"
+        assert plane.sessions["s"].spec.priority == 7.0
+
+    def test_rejected_start_is_idempotent(self):
+        plane = ControlPlane(
+            small_platform(), admission="reject", admission_floor=1e9
+        )
+        req = StartSession(name="s", source_bw=4.0, members=(1, 2))
+        first = plane.submit(req)
+        second = plane.submit(req)
+        assert first.status == second.status == "rejected"
+        assert first.bound == second.bound
+        assert plane.sessions == {}
+
+    def test_degrade_admission_admits_below_floor(self):
+        plane = ControlPlane(
+            small_platform(), admission="degrade", admission_floor=1e9
+        )
+        resp = plane.submit(
+            StartSession(name="s", source_bw=4.0, members=(1, 2))
+        )
+        assert resp.status == "degraded"
+        assert plane.sessions["s"].status == "degraded"
+
+    def test_batch_error_does_not_abort_batch(self):
+        plane = ControlPlane(small_platform())
+        responses = plane.submit_batch(
+            (
+                StartSession(name="a", source_bw=4.0, members=(1, 2)),
+                StopSession(name="ghost"),
+                StartSession(name="b", source_bw=4.0, members=(3, 4)),
+            )
+        )
+        assert [r.status for r in responses] == [
+            "admitted", "error", "admitted",
+        ]
+        assert set(plane.sessions) == {"a", "b"}
+        # one batch, one sequence number
+        assert {r.seq for r in responses} == {1}
+        assert plane.stats().batches == 1
+
+    def test_empty_batch_rejected(self):
+        plane = ControlPlane(small_platform())
+        with pytest.raises(ValueError, match="empty request batch"):
+            plane.submit_batch(())
+
+    def test_invalid_config_rejected(self):
+        platform = small_platform()
+        with pytest.raises(ValueError, match="unknown broker"):
+            ControlPlane(platform, broker="lottery")
+        with pytest.raises(ValueError, match="unknown admission"):
+            ControlPlane(platform, admission="coinflip")
+        with pytest.raises(ValueError, match="unknown planning"):
+            ControlPlane(platform, planning="psychic")
+        with pytest.raises(ValueError, match="admission_floor"):
+            ControlPlane(platform, admission_floor=-1.0)
+
+
+class TestRegimeEquivalence:
+    """Incremental re-arbitration is an optimization, not a policy: the
+    per-component memoized broker rounds must land on exactly the grants
+    the monolithic cold-solve regime computes."""
+
+    @pytest.mark.parametrize("broker", ["equal", "proportional", "waterfill"])
+    @pytest.mark.parametrize("trace", ["mixed", "roaming"])
+    def test_grants_identical_across_regimes(self, broker, trace):
+        fleet = small_fleet(num_sessions=3, seed=2)
+        batches = make_trace(trace, fleet, seed=2)
+        payloads = {}
+        for planning in ("incremental", "full"):
+            plane = ControlPlane(
+                fleet.platform, broker=broker, planning=planning
+            )
+            for batch in batches:
+                plane.submit_batch(batch)
+            payloads[planning] = (
+                plane._grants_payload(),
+                {n: e.bound for n, e in plane.sessions.items()},
+            )
+        assert payloads["incremental"] == payloads["full"]
+
+
+class TestLedger:
+    def test_memory_ledger_records_batches(self):
+        ledger = ReservationLedger()
+        plane = ControlPlane(small_platform(), ledger=ledger)
+        plane.submit(StartSession(name="s", source_bw=4.0, members=(1,)))
+        assert ledger.records[0]["header"]
+        assert ledger.records[1]["seq"] == 1
+        assert ledger.records[1]["ops"] == {"s": "build"}
+        assert ledger.path is None
+
+    def test_kill_and_restart_reproduces_grants(self, tmp_path):
+        """Interrupt the stream mid-way, recover from the journal,
+        finish — the outcome must be bit-identical to a plane that
+        never died."""
+        fleet = small_fleet(num_sessions=2, seed=3)
+        batches = make_trace("mixed", fleet, seed=3)
+        cut = len(batches) // 2
+
+        path = str(tmp_path / "plane.jsonl")
+        first = ControlPlane(
+            fleet.platform, ledger=ReservationLedger(path)
+        )
+        for batch in batches[:cut]:
+            first.submit_batch(batch)
+        # Simulated crash: no close, no farewell — the journal is
+        # flushed per record, so the file is already complete.
+        del first
+
+        recovered = ControlPlane.recover(path, verify=True)
+        for batch in batches[cut:]:
+            recovered.submit_batch(batch)
+
+        control = ControlPlane(fleet.platform, ledger=ReservationLedger())
+        for batch in batches:
+            control.submit_batch(batch)
+
+        assert recovered._grants_payload() == control._grants_payload()
+        assert {n: e.bound for n, e in recovered.sessions.items()} == {
+            n: e.bound for n, e in control.sessions.items()
+        }
+        assert {n: e.status for n, e in recovered.sessions.items()} == {
+            n: e.status for n, e in control.sessions.items()
+        }
+        # The resumed journal replays end-to-end, including the batches
+        # appended after the restart.
+        recovered.ledger.close()
+        ControlPlane.recover(path, verify=True, resume_appending=False)
+
+    def test_recovered_fleet_summaries_identical_across_modes(self, tmp_path):
+        fleet = small_fleet(num_sessions=2, seed=3)
+        batches = make_trace("start-stop", fleet, seed=3)
+        path = str(tmp_path / "plane.jsonl")
+        plane = ControlPlane(fleet.platform, ledger=ReservationLedger(path))
+        for batch in batches:
+            plane.submit_batch(batch)
+        plane.ledger.close()
+        recovered = ControlPlane.recover(path, resume_appending=False)
+
+        def summary(p, mode):
+            result = p.to_fleet(horizon=30).run(mode=mode, max_workers=2)
+            return [
+                (s.name, s.status, s.bound, s.goodput)
+                for s in result.sessions
+            ]
+
+        baseline = summary(plane, "serial")
+        assert summary(recovered, "serial") == baseline
+        assert summary(recovered, "thread") == baseline
+        assert summary(recovered, "process") == baseline
+
+    def test_tampered_journal_refuses_to_resume(self, tmp_path):
+        fleet = small_fleet(num_sessions=2, seed=3)
+        path = str(tmp_path / "plane.jsonl")
+        plane = ControlPlane(fleet.platform, ledger=ReservationLedger(path))
+        for batch in make_trace("flash-start", fleet, seed=3):
+            plane.submit_batch(batch)
+        plane.ledger.close()
+
+        records = ReservationLedger.read(path)
+        for record in records:
+            for grants in record.get("grants", {}).values():
+                for node in grants:
+                    grants[node] *= 1.5
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        with pytest.raises(RuntimeError, match="replay diverged"):
+            ControlPlane.recover(path)
+
+    def test_recover_rejects_non_ledger(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"seq": 1}\n')
+        with pytest.raises(ValueError, match="not a reservation ledger"):
+            ControlPlane.recover(str(path))
+
+    def test_recover_without_verify_skips_comparison(self, tmp_path):
+        fleet = small_fleet(num_sessions=2, seed=3)
+        path = str(tmp_path / "plane.jsonl")
+        plane = ControlPlane(fleet.platform, ledger=ReservationLedger(path))
+        for batch in make_trace("flash-start", fleet, seed=3):
+            plane.submit_batch(batch)
+        plane.ledger.close()
+        recovered = ControlPlane.recover(
+            str(path), verify=False, resume_appending=False
+        )
+        assert recovered._grants_payload() == plane._grants_payload()
+
+
+class TestTransports:
+    def test_in_process_transport_matches_direct_submits(self):
+        fleet = small_fleet(num_sessions=2, seed=1)
+        batches = make_trace("start-stop", fleet, seed=1)
+
+        direct = ControlPlane(fleet.platform)
+        direct_responses = [
+            [encode_response(r, timing=False) for r in direct.submit_batch(b)]
+            for b in batches
+        ]
+
+        wired = ControlPlane(fleet.platform)
+        transport = InProcessTransport(wired)
+        wire_responses = [
+            [
+                encode_response(r, timing=False)
+                for r in transport.submit_batch(b)
+            ]
+            for b in batches
+        ]
+        assert wire_responses == direct_responses
+        assert wired._grants_payload() == direct._grants_payload()
+
+    def test_in_process_single_request(self):
+        plane = ControlPlane(small_platform())
+        transport = InProcessTransport(plane)
+        resp = transport.submit(
+            StartSession(name="s", source_bw=4.0, members=(1, 2))
+        )
+        assert resp.status == "admitted"
+        assert resp.bound == plane.sessions["s"].bound
+
+    def test_tcp_roundtrip(self):
+        plane = ControlPlane(small_platform())
+
+        async def scenario():
+            async with ControlPlaneServer(plane) as server:
+                async with ControlPlaneClient(port=server.port) as client:
+                    started = await client.submit(
+                        StartSession(name="s", source_bw=4.0, members=(1, 2))
+                    )
+                    batch = await client.submit_batch(
+                        [
+                            PriorityChange(name="s", priority=2.0),
+                            Query(name="s"),
+                        ]
+                    )
+                    malformed = await client._roundtrip({"op": "reboot"})
+                    return started, batch, malformed
+
+        started, batch, malformed = asyncio.run(scenario())
+        assert started.status == "admitted"
+        assert [r.status for r in batch] == ["applied", "ok"]
+        assert batch[1].state["priority"] == 2.0
+        assert decode_response(malformed).status == "error"
+        assert plane.sessions["s"].spec.priority == 2.0
+        assert plane.requests_served == 3
+
+    def test_tcp_concurrent_clients_interleave_at_batch_level(self):
+        plane = ControlPlane(small_platform())
+
+        async def scenario():
+            async with ControlPlaneServer(plane) as server:
+                async def one(name, members):
+                    async with ControlPlaneClient(port=server.port) as c:
+                        return await c.submit(
+                            StartSession(
+                                name=name, source_bw=4.0, members=members
+                            )
+                        )
+
+                return await asyncio.gather(
+                    one("a", (1, 2)), one("b", (3, 4))
+                )
+
+        responses = asyncio.run(scenario())
+        assert {r.status for r in responses} == {"admitted"}
+        assert set(plane.sessions) == {"a", "b"}
+
+
+class TestRequestTraces:
+    def test_registry_names(self):
+        assert trace_names() == sorted(REQUESTS)
+        assert {"mixed", "roaming", "priority-storm"} <= set(trace_names())
+        assert all(t.description for t in REQUESTS.values())
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(KeyError, match="unknown trace"):
+            make_trace("nope", small_fleet())
+
+    @pytest.mark.parametrize("name", sorted(REQUESTS))
+    def test_every_trace_replays_without_errors(self, name):
+        fleet = small_fleet(num_sessions=3, seed=5)
+        plane = ControlPlane(fleet.platform)
+        for batch in make_trace(name, fleet, seed=5):
+            assert batch  # no empty batches
+            for resp in plane.submit_batch(batch):
+                assert resp.status != "error", resp.error
+
+    def test_traces_are_deterministic(self):
+        fleet = small_fleet(num_sessions=3, seed=5)
+        assert make_trace("roaming", fleet, seed=5) == make_trace(
+            "roaming", fleet, seed=5
+        )
+
+
+class TestEventCoalescing:
+    def test_empty_burst(self):
+        assert coalesce_events(()) == ()
+
+    def test_join_then_leave_cancels(self):
+        burst = (
+            NodeJoin(time=1, kind=NodeKind.OPEN, bandwidth=2.0, node_id=7),
+            NodeLeave(time=2, node_id=7),
+        )
+        assert coalesce_events(burst) == ()
+
+    def test_join_then_drift_folds_into_one_join(self):
+        burst = (
+            NodeJoin(time=1, kind=NodeKind.OPEN, bandwidth=2.0, node_id=7),
+            BandwidthDrift(time=2, node_id=7, bandwidth=3.5),
+        )
+        (ev,) = coalesce_events(burst)
+        assert isinstance(ev, NodeJoin)
+        assert ev.bandwidth == 3.5 and ev.time == 2
+
+    def test_drift_chain_keeps_last_value(self):
+        burst = (
+            BandwidthDrift(time=1, node_id=7, bandwidth=3.0),
+            BandwidthDrift(time=2, node_id=7, bandwidth=1.0),
+        )
+        (ev,) = coalesce_events(burst)
+        assert isinstance(ev, BandwidthDrift) and ev.bandwidth == 1.0
+
+    def test_leave_then_join_emits_both_in_order(self):
+        burst = (
+            NodeLeave(time=1, node_id=7),
+            NodeJoin(time=2, kind=NodeKind.OPEN, bandwidth=2.0, node_id=7),
+        )
+        leave, join = coalesce_events(burst)
+        assert isinstance(leave, NodeLeave) and isinstance(join, NodeJoin)
+
+    def test_ordering_leaves_drifts_joins(self):
+        burst = (
+            NodeJoin(time=1, kind=NodeKind.OPEN, bandwidth=2.0, node_id=9),
+            BandwidthDrift(time=1, node_id=5, bandwidth=1.0),
+            NodeLeave(time=1, node_id=3),
+        )
+        out = coalesce_events(burst)
+        assert [type(e) for e in out] == [NodeLeave, BandwidthDrift, NodeJoin]
+
+    def test_double_join_rejected(self):
+        burst = (
+            NodeJoin(time=1, kind=NodeKind.OPEN, bandwidth=2.0, node_id=7),
+            NodeJoin(time=2, kind=NodeKind.OPEN, bandwidth=2.0, node_id=7),
+        )
+        with pytest.raises(ValueError, match="joined while already present"):
+            coalesce_events(burst)
+
+    def test_drift_after_leave_rejected(self):
+        burst = (
+            NodeLeave(time=1, node_id=7),
+            BandwidthDrift(time=2, node_id=7, bandwidth=1.0),
+        )
+        with pytest.raises(ValueError, match="drifted after leaving"):
+            coalesce_events(burst)
+
+    def test_anonymous_joins_preserved(self):
+        burst = (
+            NodeJoin(time=1, kind=NodeKind.OPEN, bandwidth=2.0),
+            NodeLeave(time=2, node_id=3),
+        )
+        out = coalesce_events(burst)
+        assert isinstance(out[0], NodeLeave)
+        assert isinstance(out[1], NodeJoin) and out[1].node_id is None
+
+
+class TestFleetRejectAll:
+    def test_reject_all_holds_no_capacity(self):
+        fleet = small_fleet(num_sessions=2, seed=4, overlap=0.0)
+        engine = FleetEngine.from_fleet(
+            fleet, admission="reject", admission_floor=1e9
+        )
+        result = engine.run()
+        assert all(s.status == "rejected" for s in result.sessions)
+        assert all(s.bound == 0.0 for s in result.sessions)
+        assert result.aggregate_goodput == 0.0
+
+
+class TestEstimatorWarmstart:
+    def test_warm_values_override_flat_prior(self):
+        est = OnlineEstimator()
+        est.warm_start({1: 5.0, 2: 0.5})
+        assert est.prior_for(1) == 5.0
+        assert est.prior_for(2) == 0.5
+        assert est.prior_for(3) == est.prior_bw
+
+    def test_negative_warm_value_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            OnlineEstimator().warm_start({1: -1.0})
+
+    def test_nearest_profile_cold_cache(self):
+        assert PlanCache().nearest_profile(4, 0) is None
+
+    def test_nearest_profile_picks_closest_population(self):
+        cache = PlanCache()
+        near = Instance(10.0, (5.0, 4.0, 3.0), ())
+        far = Instance(10.0, tuple([2.0] * 9), (1.0,))
+        cache.solve(far)
+        cache.solve(near)
+        assert cache.nearest_profile(3, 0) is near
+        assert cache.nearest_profile(9, 1) is far
+
+    def test_engine_requires_online_estimation(self):
+        fleet = small_fleet()
+        with pytest.raises(ValueError, match="estimation='online'"):
+            RuntimeEngine(
+                fleet.platform, (), 10, estimator_warmstart=True
+            )
+
+    def test_engine_seeds_estimator_from_cache(self):
+        spec = SteadyChurn(size=8, horizon=20)
+        run = spec.build(0, name="steady-churn")
+        cache = PlanCache()
+        cache.solve(run.platform.snapshot()[0])
+        engine = RuntimeEngine(
+            run.platform,
+            run.events,
+            run.horizon,
+            seed=0,
+            cache=cache,
+            estimation="online",
+            estimator_warmstart=True,
+        )
+        warm = engine.view.estimator._warm
+        assert warm
+        # seeded nodes now answer their warm prior pre-probe
+        node = next(iter(warm))
+        assert engine.view.bandwidth(node) == warm[node]
+
+    def test_cold_cache_leaves_estimator_flat(self):
+        spec = SteadyChurn(size=8, horizon=20)
+        run = spec.build(0, name="steady-churn")
+        engine = RuntimeEngine(
+            run.platform,
+            run.events,
+            run.horizon,
+            seed=0,
+            estimation="online",
+            estimator_warmstart=True,
+        )
+        assert engine.view.estimator._warm == {}
+
+
+class TestAnalysisService:
+    def test_service_experiment_smoke(self):
+        spec = SteadyChurn(size=12, horizon=60)
+        reports = service_experiment(
+            spec,
+            2,
+            0,
+            trace="start-stop",
+            validate_migration=False,
+        )
+        assert [r.planning for r in reports] == ["incremental", "full"]
+        for rep in reports:
+            assert rep.requests > 0 and rep.batches > 0
+            assert rep.latency_p50_ms > 0
+            assert rep.latency_p99_ms >= rep.latency_p50_ms
+            assert rep.requests_per_sec > 0
+            assert math.isnan(rep.preemption_disruption)  # no preemption
+            assert math.isnan(rep.migration_goodput)
+
+    def test_preemption_disruption_measured_under_proportional(self):
+        spec = SteadyChurn(size=12, horizon=60)
+        reports = service_experiment(
+            spec,
+            2,
+            0,
+            trace="priority-storm",
+            broker="proportional",
+            validate_migration=False,
+        )
+        assert all(rep.preemption_disruption >= 0 for rep in reports)
+        assert (
+            reports[0].preemption_disruption
+            == reports[1].preemption_disruption
+        )
+
+    def test_migration_fork_check_ratio(self):
+        plane = ControlPlane(small_platform(n=6))
+        plane.submit(
+            StartSession(name="s", source_bw=6.0, members=(1, 2, 3, 4, 5, 6))
+        )
+        plan = plane.sessions["s"].plan
+        ratio = migration_fork_check(
+            plan, [6], warm_slots=10, measure_slots=10
+        )
+        assert 0.0 <= ratio <= 1.5  # transport noise can nudge above 1
+
+    def test_migration_fork_check_needs_plan_members(self):
+        plane = ControlPlane(small_platform(n=4))
+        plane.submit(
+            StartSession(name="s", source_bw=6.0, members=(1, 2, 3))
+        )
+        with pytest.raises(ValueError, match="no removed member"):
+            migration_fork_check(
+                plane.sessions["s"].plan, [999],
+                warm_slots=5, measure_slots=5,
+            )
+
+
+class TestServeCli:
+    def test_serve_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "roaming" in out and "waterfill" in out
+
+    def test_serve_inproc_round_trip(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["serve", "--scenario", "steady-churn", "--trace", "start-stop",
+             "--num-sessions", "2", "--seed", "1", "--transport", "inproc"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests=" in out and "plans:" in out
+
+    def test_serve_tcp_with_ledger_then_request(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "plane.jsonl")
+        rc = main(
+            ["serve", "--scenario", "steady-churn", "--trace", "start-stop",
+             "--num-sessions", "2", "--seed", "1", "--ledger", path]
+        )
+        assert rc == 0
+        assert "replay verified bit-identical" in capsys.readouterr().out
+
+        assert main(["request", "--ledger", path, "--op", "query"]) == 0
+        assert '"sessions"' in capsys.readouterr().out
+
+        rc = main(
+            ["request", "--ledger", path, "--op", "priority_change",
+             "--name", "s0", "--priority", "3.0"]
+        )
+        assert rc == 0
+        assert "applied" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--trace", "nope"]) == 2
+        assert main(["serve", "--num-sessions", "0"]) == 2
+        assert main(["serve", "--broker", "lottery"]) == 2
+        capsys.readouterr()
+
+    def test_request_validates_op_arguments(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "missing.jsonl")
+        assert main(["request", "--ledger", path, "--op", "stop_session"]) == 2
+        assert (
+            main(["request", "--ledger", path, "--op", "start_session",
+                  "--name", "x"])
+            == 2
+        )
+        assert (
+            main(["request", "--ledger", path, "--op", "migrate_session",
+                  "--name", "x"])
+            == 2
+        )
+        # a well-formed request against a missing ledger fails cleanly
+        assert main(["request", "--ledger", path, "--op", "query"]) == 2
+        capsys.readouterr()
