@@ -1,0 +1,168 @@
+"""Benchmarks: the scale wall (class-collapsed planning + array transport).
+
+Runs the end-to-end array pipeline of :mod:`repro.analysis.scale`
+(ClassRuns -> run-length planning -> packed edge arrays -> greedy tree
+extraction -> sharded integer transport) at n ∈ {10k, 100k} — plus an
+n = 1M tier behind ``REPRO_SCALE_FULL=1``, which is a local/manual tier
+so CI stays bounded — and writes ``BENCH_scale.json`` with per-phase
+wall time, node·slots/sec, and peak RSS per tier.
+
+Each tier executes in a forked child process so ``ru_maxrss`` (a
+high-water mark that never decreases) reflects that tier alone, not its
+predecessors.
+
+Gates asserted here:
+
+* the 100k tier sustains >= 5M node·slots/sec for the *whole* pipeline
+  (plan + decompose + build + simulate) — >= 10x the PR-2 sharded
+  number at n = 1000;
+* the run-length planner's rate is bit-identical to the per-node
+  dichotomic search on the tier instance (the class-collapse
+  equivalence oracle; the property-test suite pins the same identity
+  across the random instance families);
+* every tier records a positive peak RSS and a near-rate goodput.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.acyclic_guarded import (
+    optimal_acyclic_throughput,
+    optimal_acyclic_throughput_runs,
+)
+from repro.analysis.scale import measure_scale
+from repro.instances.generators import class_runs
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: Substreams below this fraction of the rate are not simulated (the
+#: greedy halves residuals, so the dust tail costs O(n) per tree while
+#: carrying ~nothing); the dropped rate lands in the artifact.
+DUST_FRAC = 5e-3
+
+#: (tier size, simulated slots).  The 1M tier uses fewer slots: its
+#: pipeline cost is dominated by the per-slot sweep and the goodput
+#: plateau is reached well before 192 slots.
+TIERS = [(10_000, 512), (100_000, 512)]
+FULL_TIERS = [(1_000_000, 192)]
+
+
+def _scale_classes(n: int) -> list:
+    """The bench swarm: two open bandwidth classes far from the rate
+    (keeps the greedy word short and the tree count small) plus a token
+    guarded pair, source at the saturating fixed point b0 = T*."""
+    half = n // 2
+    return [
+        ("open", 150.0, half),
+        ("open", 50.0, n - half),
+        ("guarded", 100.0, 2),
+    ]
+
+
+def _tier_child(n: int, slots: int, conn) -> None:
+    runs = class_runs(None, _scale_classes(n))
+    report = measure_scale(
+        runs, slots=slots, min_tree_weight_frac=DUST_FRAC
+    )
+    conn.send(report.as_dict())
+    conn.close()
+
+
+def _run_tier(n: int, slots: int) -> dict:
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_tier_child, args=(n, slots, child))
+        proc.start()
+        child.close()
+        row = parent.recv()
+        proc.join()
+        assert proc.exitcode == 0, f"tier n={n} child exited {proc.exitcode}"
+        return row
+    # No fork (non-Linux dev box): run inline; RSS is then cumulative.
+    runs = class_runs(None, _scale_classes(n))
+    return measure_scale(
+        runs, slots=slots, min_tree_weight_frac=DUST_FRAC
+    ).as_dict()
+
+
+@pytest.mark.paper
+def test_bench_scale_tiers(benchmark, report_sink):
+    """All tiers end-to-end; artifact + the scale-wall gates."""
+    tiers = list(TIERS)
+    if os.environ.get("REPRO_SCALE_FULL"):
+        tiers += FULL_TIERS
+
+    def sweep():
+        return {n: _run_tier(n, slots) for n, slots in tiers}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # The class-collapse equivalence oracle, on the smallest tier (the
+    # per-node dichotomic search is O(n) per probe): the run-length
+    # planner must reproduce the per-node rate bit for bit.
+    oracle_runs = class_runs(None, _scale_classes(10_000))
+    started = time.perf_counter()
+    collapsed_rate, _ = optimal_acyclic_throughput_runs(oracle_runs)
+    collapsed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    per_node_rate, _ = optimal_acyclic_throughput(oracle_runs.to_instance())
+    per_node_seconds = time.perf_counter() - started
+    oracle = {
+        "n": 10_000,
+        "collapsed_rate": collapsed_rate,
+        "per_node_rate": per_node_rate,
+        "bit_identical": collapsed_rate == per_node_rate,
+        "collapsed_seconds": round(collapsed_seconds, 4),
+        "per_node_seconds": round(per_node_seconds, 4),
+    }
+
+    # Artifact first: a failed gate below must still leave the timings
+    # behind for diagnosis (CI uploads it with ``if: always()``).
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "dust_frac": DUST_FRAC,
+                "tiers": {str(n): row for n, row in results.items()},
+                "plan_oracle": oracle,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert oracle["bit_identical"], oracle
+    for n, row in results.items():
+        assert row["peak_rss_kb"] > 0, (n, row)
+        # Goodput within the simulated substream total (rate minus the
+        # documented dust) less slotting noise.
+        floor = 0.97 * (row["rate"] - row["dropped_rate"])
+        assert row["min_goodput"] >= floor, (n, row)
+    # The headline acceptance gate: 100k plan+simulate on one box at
+    # >= 5M node·slots/sec (>= 10x the PR-2 sharded number at n=1000).
+    assert results[100_000]["node_slots_per_sec"] >= 5e6, results[100_000]
+
+    lines = [
+        f"Scale tiers (whole-pipeline node·slots/sec) -> {ARTIFACT.name}"
+    ]
+    for n, row in results.items():
+        lines.append(
+            f"  n={n:,}: {row['node_slots_per_sec']:,.0f} node·slots/s  "
+            f"plan={row['plan_seconds']:.2f}s "
+            f"decompose={row['decompose_seconds']:.2f}s "
+            f"build={row['build_seconds']:.2f}s "
+            f"simulate={row['simulate_seconds']:.2f}s  "
+            f"rss={row['peak_rss_kb'] // 1024}MB  "
+            f"goodput={row['min_goodput']:.2f}/{row['rate']:.2f}"
+        )
+    lines.append(
+        f"  plan oracle @10k: collapsed == per-node "
+        f"({oracle['collapsed_rate']:.6f}), "
+        f"{oracle['per_node_seconds'] / max(oracle['collapsed_seconds'], 1e-9):.0f}x faster collapsed"
+    )
+    report_sink.append("\n".join(lines))

@@ -32,22 +32,33 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..core.bounds import cyclic_optimum
 from ..core.exceptions import InfeasibleThroughputError
 from ..core.instance import Instance
+from ..core.runs import (
+    ClassRuns,
+    FeedPortion,
+    RunScheme,
+    SegmentFeed,
+    SupplyBlock,
+)
 from ..core.scheme import BroadcastScheme
-from ..core.words import GUARDED, check_word_shape, is_valid_word
-from .greedy import greedy_test
+from ..core.words import GUARDED, OPEN, check_word_shape, is_valid_word
+from .greedy import greedy_segments, greedy_test, segments_to_word
 
 __all__ = [
     "optimal_acyclic_throughput",
+    "optimal_acyclic_throughput_runs",
     "PackingState",
     "pack_word",
+    "pack_segments",
     "scheme_from_word",
     "acyclic_guarded_scheme",
+    "collapsed_scheme",
     "AcyclicSolution",
+    "CollapsedSolution",
 ]
 
 #: Relative precision of the dichotomic search on T.
@@ -216,6 +227,19 @@ class PackingState:
             self._pool_of(node).remove(entry)
         del self.position[node]
         del self._node_open[node]
+
+    def rename(self, old: int, new: int) -> None:
+        """Relabel ``old`` as ``new`` in place: same position, class and
+        spare credit (a class-preserving swap repair)."""
+        if old not in self.position:
+            raise KeyError(f"rename of unknown node {old}")
+        if new in self.position:
+            raise KeyError(f"rename target {new} already present")
+        entry = self._find(old)
+        if entry is not None:
+            entry[0] = new
+        self.position[new] = self.position.pop(old)
+        self._node_open[new] = self._node_open.pop(old)
 
     # ------------------------------------------------------------------
     # Draws
@@ -408,3 +432,323 @@ def acyclic_guarded_scheme(
             )
     scheme, packing = pack_word(instance, chosen, target)
     return AcyclicSolution(scheme, target, chosen, packing)
+
+
+# ======================================================================
+# Run-length (class-collapsed) pipeline
+# ======================================================================
+def optimal_acyclic_throughput_runs(
+    runs: ClassRuns, *, rel_tol: float = SEARCH_REL_TOL
+) -> tuple[float, list[tuple[str, int]]]:
+    """``(T*_ac, greedy segments)`` on a run-length instance.
+
+    Same dichotomic search as :func:`optimal_acyclic_throughput` with the
+    run-length Algorithm 2 oracle, in O(runs + word alternations) per
+    probe.  The upper bracket (``ClassRuns.cyclic_optimum`` uses ``fsum``,
+    which is correctly rounded) and every probe verdict are bit-identical
+    to the per-node path, so the returned rate is too.
+    """
+    n, m = runs.n, runs.m
+    if n + m == 0:
+        return float("inf"), []
+    hi = runs.cyclic_optimum()
+    zero_word: list[tuple[str, int]] = []
+    if m:
+        zero_word.append((GUARDED, m))
+    if n:
+        zero_word.append((OPEN, n))
+    if hi <= 0.0:
+        return 0.0, zero_word
+    b0 = runs.source_bw
+    seg_hi = greedy_segments(b0, runs.open_runs, runs.guarded_runs, hi)
+    if seg_hi is not None:
+        return hi, seg_hi
+    lo = 0.0
+    segments = zero_word
+    for _ in range(SEARCH_MAX_ITER):
+        if hi - lo <= rel_tol * hi:
+            break
+        mid = 0.5 * (lo + hi)
+        cand = greedy_segments(b0, runs.open_runs, runs.guarded_runs, mid)
+        if cand is not None:
+            lo, segments = mid, cand
+        else:
+            hi = mid
+    return lo, segments
+
+
+@dataclass
+class CollapsedSolution:
+    """Run-length counterpart of :class:`AcyclicSolution`.
+
+    ``scheme`` is the packed :class:`~repro.core.runs.RunScheme`;
+    ``open_spare`` / ``guarded_spare`` are the residual pool entries as
+    ``(start_node, count, spare_each)`` blocks in FIFO order.
+    """
+
+    scheme: RunScheme
+    throughput: float
+    segments: list[tuple[str, int]]
+    open_spare: tuple[tuple[int, int, float], ...] = ()
+    guarded_spare: tuple[tuple[int, int, float], ...] = ()
+
+    @property
+    def word(self) -> str:
+        return segments_to_word(self.segments)
+
+
+def _split_units(
+    runs: ClassRuns, segments: Sequence[tuple[str, int]]
+) -> list[tuple[str, int, int, float]]:
+    """Intersect word segments with class runs.
+
+    Returns ``(letter, first_node_id, count, class_bw)`` units: maximal
+    stretches of consecutive same-letter, same-bandwidth receivers.
+    Canonical node ids are contiguous per unit because the word consumes
+    each class in canonical (sorted) order.
+    """
+    units: list[tuple[str, int, int, float]] = []
+    n = runs.n
+    o_iter = list(runs.open_runs)
+    g_iter = list(runs.guarded_runs)
+    ri = rj = 0  # run index per class
+    iu = ju = 0  # consumed inside the current run
+    next_open, next_guarded = 1, n + 1
+    for letter, count in segments:
+        remaining = count
+        while remaining > 0:
+            if letter == GUARDED:
+                if rj >= len(g_iter):
+                    raise ValueError("segments exceed guarded node count")
+                bw, run_len = g_iter[rj]
+                take = min(remaining, run_len - ju)
+                units.append((letter, next_guarded, take, bw))
+                next_guarded += take
+                ju += take
+                if ju == run_len:
+                    rj += 1
+                    ju = 0
+            else:
+                if ri >= len(o_iter):
+                    raise ValueError("segments exceed open node count")
+                bw, run_len = o_iter[ri]
+                take = min(remaining, run_len - iu)
+                units.append((letter, next_open, take, bw))
+                next_open += take
+                iu += take
+                if iu == run_len:
+                    ri += 1
+                    iu = 0
+            remaining -= take
+    if next_open != n + 1 or next_guarded != runs.num_nodes:
+        raise ValueError("segments do not cover the instance")
+    return units
+
+
+class _RunPools:
+    """Block-level FIFO pools: the Lemma 4.6 pools over node *intervals*.
+
+    Each entry is ``[start, count, spare_each]`` — ``count`` consecutive
+    nodes each holding ``spare_each`` upload credit.  Draws consume from
+    the front exactly like the per-node pools (a partially drained node
+    stays at the front), so the collapsed packing is the per-node packing
+    with identical FIFO discipline, just bookkept per interval.
+    """
+
+    __slots__ = ("open_entries", "guarded_entries", "tol")
+
+    def __init__(self, tol: float) -> None:
+        self.open_entries: deque[list] = deque()
+        self.guarded_entries: deque[list] = deque()
+        self.tol = tol
+
+    def push(self, start: int, count: int, each: float, *, open_: bool) -> None:
+        if count <= 0 or each <= self.tol:
+            return
+        pool = self.open_entries if open_ else self.guarded_entries
+        pool.append([start, count, each])
+
+    def _draw(self, pool: deque, need: float) -> tuple[list[SupplyBlock], float]:
+        """Consume up to ``need`` from the pool front; return the supply
+        blocks (in consumption order) and the unmet remainder."""
+        tol = self.tol
+        blocks: list[SupplyBlock] = []
+        while need > tol and pool:
+            entry = pool[0]
+            start, cnt, each = entry
+            if each <= tol:
+                pool.popleft()
+                continue
+            whole = int(need / each)
+            if whole >= cnt:
+                blocks.append(SupplyBlock(start, cnt, each))
+                need -= cnt * each
+                pool.popleft()
+                continue
+            if whole > 0:
+                blocks.append(SupplyBlock(start, whole, each))
+                need -= whole * each
+                entry[0] = start + whole
+                entry[1] = cnt - whole
+                start, cnt = entry[0], entry[1]
+            if need > tol:
+                take = need if need < each else each
+                blocks.append(SupplyBlock(start, 1, take))
+                spare = each - take
+                need = 0.0
+                if cnt == 1:
+                    if spare > tol:
+                        entry[2] = spare
+                    else:
+                        pool.popleft()
+                else:
+                    entry[0] = start + 1
+                    entry[1] = cnt - 1
+                    if spare > tol:
+                        pool.appendleft([start, 1, spare])
+        return blocks, max(need, 0.0)
+
+    def draw_open(self, need: float) -> tuple[list[SupplyBlock], float]:
+        return self._draw(self.open_entries, need)
+
+    def draw_guarded(self, need: float) -> tuple[list[SupplyBlock], float]:
+        return self._draw(self.guarded_entries, need)
+
+    def spare_blocks(self, *, open_: bool) -> tuple[tuple[int, int, float], ...]:
+        pool = self.open_entries if open_ else self.guarded_entries
+        return tuple((s, c, e) for s, c, e in pool)
+
+
+def pack_segments(
+    runs: ClassRuns,
+    segments: Sequence[tuple[str, int]],
+    throughput: float,
+) -> CollapsedSolution:
+    """Lemma 4.6 packing on a run-length word, in O(units) bookkeeping.
+
+    Semantically the per-node :func:`pack_word` with the same FIFO
+    earliest-feeder discipline, executed per *unit* (maximal same-letter,
+    same-class stretch):
+
+    * a guarded unit draws its aggregate demand from the open pool
+      (firewall) and pushes its nodes' upload as one block;
+    * an open unit drains the guarded pool first (Lemma 4.3), tops up
+      from the open pool, and serves any remaining demand by *self
+      supply*: node ``q`` of the unit feeds later receivers of the same
+      unit — a uniform grid-vs-grid interval join, the collapsed image of
+      earlier same-class letters feeding later ones.
+
+    Feasibility inside a unit is the closed form of the greedy invariant
+    (``pre + q*b >= (q+1)*T``, linear in ``q``), checked at both ends.
+    """
+    total = runs.num_receivers
+    covered = sum(c for _, c in segments)
+    if covered != total:
+        raise ValueError(
+            f"segments cover {covered} receivers, instance has {total}"
+        )
+    t = float(throughput)
+    tol = 1e-9 * max(1.0, t)
+    pools = _RunPools(tol)
+    pools.push(0, 1, runs.source_bw, open_=True)
+    units = _split_units(runs, segments)
+    feeds: list[SegmentFeed] = []
+    if t > 0.0:
+        for letter, first, count, bw in units:
+            demand = count * t
+            unit_tol = tol * count
+            portions: list[FeedPortion] = []
+            if letter == GUARDED:
+                blocks, unmet = pools.draw_open(demand)
+                if blocks:
+                    portions.append(FeedPortion(0.0, tuple(blocks)))
+                if unmet > unit_tol:
+                    raise InfeasibleThroughputError(
+                        f"word invalid at rate {t:g}: guarded unit at node "
+                        f"{first} short of {unmet:g} open bandwidth"
+                    )
+                pools.push(first, count, bw, open_=False)
+            else:
+                g_blocks, unmet = pools.draw_guarded(demand)
+                g_used = demand - unmet
+                if g_blocks:
+                    portions.append(FeedPortion(0.0, tuple(g_blocks)))
+                o_blocks, unmet2 = pools.draw_open(unmet)
+                if o_blocks:
+                    portions.append(FeedPortion(g_used, tuple(o_blocks)))
+                rem = unmet2
+                if rem > unit_tol:
+                    pre = demand - rem
+                    # Greedy invariant, closed form: receiver q needs
+                    # pre + q*b >= (q+1)*t; linear in q, so check ends.
+                    worst = max(t - pre, t - pre + (count - 1) * (t - bw))
+                    if worst > unit_tol:
+                        raise InfeasibleThroughputError(
+                            f"word invalid at rate {t:g}: open unit at node "
+                            f"{first} short of {worst:g} bandwidth"
+                        )
+                    if count < 2 or bw <= tol:
+                        raise InfeasibleThroughputError(
+                            f"open unit at node {first} cannot self-supply"
+                        )
+                    suppliers = min(count - 1, int(rem / bw) + 2)
+                    portions.append(
+                        FeedPortion(
+                            pre, (SupplyBlock(first, suppliers, bw),)
+                        )
+                    )
+                    # Residual spare: the first int(rem/b) unit nodes are
+                    # fully drained, one node keeps a partial remainder,
+                    # the rest keep full bandwidth.
+                    full = min(int(rem / bw), count - 1)
+                    part = rem - full * bw
+                    idx = full
+                    if part > tol:
+                        spare0 = bw - part
+                        if spare0 > tol:
+                            pools.push(first + full, 1, spare0, open_=True)
+                        idx = full + 1
+                    if idx < count:
+                        pools.push(first + idx, count - idx, bw, open_=True)
+                else:
+                    pools.push(first, count, bw, open_=True)
+            feeds.append(
+                SegmentFeed(first=first, count=count, rate=t, portions=tuple(portions))
+            )
+    else:
+        for letter, first, count, bw in units:
+            pools.push(first, count, bw, open_=(letter == OPEN))
+    scheme = RunScheme(runs.num_nodes, t, feeds)
+    return CollapsedSolution(
+        scheme,
+        t,
+        [tuple(s) for s in segments],
+        open_spare=pools.spare_blocks(open_=True),
+        guarded_spare=pools.spare_blocks(open_=False),
+    )
+
+
+def collapsed_scheme(
+    runs: ClassRuns, throughput: Optional[float] = None
+) -> CollapsedSolution:
+    """Full collapsed Theorem 4.1 pipeline: rate -> segments -> RunScheme.
+
+    ``throughput`` defaults to ``T*_ac`` via the run-length dichotomic
+    search (bit-identical in rate to the per-node pipeline).
+    """
+    if throughput is None:
+        target, segments = optimal_acyclic_throughput_runs(runs)
+        if target == float("inf"):
+            return CollapsedSolution(
+                RunScheme(runs.num_nodes, 0.0, ()), target, []
+            )
+    else:
+        target = float(throughput)
+        segments = greedy_segments(
+            runs.source_bw, runs.open_runs, runs.guarded_runs, target
+        )
+        if segments is None:
+            raise InfeasibleThroughputError(
+                f"rate {target:g} is not acyclically feasible"
+            )
+    return pack_segments(runs, segments, target)

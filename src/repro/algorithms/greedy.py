@@ -25,7 +25,9 @@ a trace on the Figure 1 instance (see :mod:`repro.experiments.table1`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..core.instance import Instance
 from ..core.words import (
@@ -36,7 +38,14 @@ from ..core.words import (
     step_state,
 )
 
-__all__ = ["GreedyStep", "GreedyResult", "greedy_test", "greedy_word"]
+__all__ = [
+    "GreedyStep",
+    "GreedyResult",
+    "greedy_test",
+    "greedy_word",
+    "greedy_segments",
+    "segments_to_word",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,239 @@ def _greedy_word_fast(
             i += 1
             append(OPEN)
     return "".join(letters)
+
+
+#: Minimum remaining same-decision letters before the run-length oracle
+#: switches from the scalar loop to vectorized galloping (numpy per-call
+#: overhead makes galloping counterproductive below this).
+_GALLOP_MIN = 16
+
+#: First gallop chunk size (doubled after every fully-consumed chunk, so
+#: wasted vector work stays proportional to letters actually taken).
+_GALLOP_CHUNK = 32
+
+
+def _greedy_word_runs(
+    b0: float,
+    open_runs: Sequence[tuple[float, int]],
+    guarded_runs: Sequence[tuple[float, int]],
+    throughput: float,
+) -> Optional[list[tuple[str, int]]]:
+    """Run-length Algorithm 2: the letters of :func:`_greedy_word_fast`
+    as ``(letter, count)`` segments, in O(runs + alternations) work.
+
+    Bit-identical by construction: every pool update is either executed
+    by the exact scalar transcription of the per-node loop, or by
+    ``np.add.accumulate`` — a strict sequential IEEE-754 left fold, so
+    vectorized streaks reproduce the scalar ``x -= t`` / ``y += g``
+    sequences float-for-float.  Gallop continuation predicates are the
+    scalar decision/feasibility expressions verbatim (same operation
+    order), and a streak is only consumed while the scalar loop would
+    provably emit the same letter; any boundary case falls back to the
+    scalar step.  Property-tested letter-for-letter against
+    :func:`_greedy_word_fast` across the instance families.
+    """
+    ob = [float(bw) for bw, _ in open_runs]
+    ocnt = [int(c) for _, c in open_runs]
+    gb = [float(bw) for bw, _ in guarded_runs]
+    gcnt = [int(c) for _, c in guarded_runs]
+    n = sum(ocnt)
+    m = sum(gcnt)
+    t = throughput
+    x = b0
+    y = 0.0
+    i = j = 0  # letters taken per class
+    ri = rj = 0  # current run index per class
+    iu = ju = 0  # letters taken inside the current run
+    chunk = _GALLOP_CHUNK
+    segments: list[list] = []
+
+    def emit(letter: str, count: int) -> None:
+        if segments and segments[-1][0] == letter:
+            segments[-1][1] += count
+        else:
+            segments.append([letter, count])
+
+    while i + j < n + m:
+        # ---- one exact scalar letter (transcribed from the fast path) --
+        if x + y < t:
+            return None
+        take_guarded = True
+        if i != n:
+            if j == m:
+                take_guarded = False
+            elif j == m - 1:
+                if x < t or gb[rj] < ob[ri]:
+                    take_guarded = False
+            else:
+                if x < t or x + y - t + gb[rj] < t:
+                    take_guarded = False
+        if take_guarded:
+            g = gb[rj]
+            x -= t
+            if x < 0.0:
+                return None
+            y += g
+            j += 1
+            ju += 1
+            if ju == gcnt[rj]:
+                rj += 1
+                ju = 0
+            emit(GUARDED, 1)
+        else:
+            b = ob[ri]
+            x += b
+            need = t - y
+            if need > 0.0:
+                x -= need
+                y = 0.0
+            else:
+                y -= t
+            i += 1
+            iu += 1
+            if iu == ocnt[ri]:
+                ri += 1
+                iu = 0
+            emit(OPEN, 1)
+
+        # ---- gallop: vectorize the rest of the current streak ----------
+        if take_guarded:
+            while j < m:
+                rem = gcnt[rj] - ju
+                if i == n:
+                    cap = min(rem, m - j)
+                elif j >= m - 1:
+                    break  # last-guarded rule: scalar territory
+                else:
+                    cap = min(rem, (m - 1) - j)
+                if cap < _GALLOP_MIN:
+                    break
+                g = gb[rj]
+                length = min(cap, chunk)
+                xs = np.empty(length + 1)
+                xs[0] = x
+                xs[1:] = -t
+                np.add.accumulate(xs, out=xs)
+                ys = np.empty(length + 1)
+                ys[0] = y
+                ys[1:] = g
+                np.add.accumulate(ys, out=ys)
+                if i == n:
+                    # Forced guarded: consume while neither failure check
+                    # (O + G < T before, O < 0 after) would fire.
+                    ok = (xs[:-1] + ys[:-1] >= t) & (xs[1:] >= 0.0)
+                else:
+                    # Generic branch: scalar keeps choosing guarded iff
+                    # x >= t and ((x + y) - t) + g >= t (which also
+                    # implies both failure checks pass).
+                    ok = (xs[:-1] >= t) & (((xs[:-1] + ys[:-1]) - t) + g >= t)
+                take = length if bool(ok.all()) else int(np.argmin(ok))
+                if take:
+                    x = float(xs[take])
+                    y = float(ys[take])
+                    j += take
+                    ju += take
+                    if ju == gcnt[rj]:
+                        rj += 1
+                        ju = 0
+                    emit(GUARDED, take)
+                if take < length:
+                    break  # scalar re-derives the boundary letter
+                chunk = min(chunk * 2, 1 << 16)
+        else:
+            while i < n:
+                cap = ocnt[ri] - iu
+                if cap < _GALLOP_MIN:
+                    break
+                b = ob[ri]
+                g = gb[rj] if j < m else 0.0
+                length = min(cap, chunk)
+                if y == 0.0:
+                    # With an empty guarded pool each open letter costs
+                    # x += b; x -= t (need == t > 0) and leaves y at 0.0.
+                    arr = np.empty(2 * length + 1)
+                    arr[0] = x
+                    arr[1::2] = b
+                    arr[2::2] = -t
+                    np.add.accumulate(arr, out=arr)
+                    xpre = arr[0 : 2 * length : 2]
+                    feasible = (xpre + y) >= t
+                    if j == m:
+                        ok = feasible
+                    elif j == m - 1:
+                        if g < b:
+                            ok = feasible
+                        else:
+                            break  # scalar may prefer the last guarded
+                    else:
+                        ok = (xpre >= t) & ((((xpre + y) - t) + g) < t)
+                    take = length if bool(ok.all()) else int(np.argmin(ok))
+                    if take:
+                        x = float(arr[2 * take])
+                else:
+                    # Drain mode: while y >= t the open letter costs
+                    # x += b; y -= t.
+                    xs = np.empty(length + 1)
+                    xs[0] = x
+                    xs[1:] = b
+                    np.add.accumulate(xs, out=xs)
+                    ys = np.empty(length + 1)
+                    ys[0] = y
+                    ys[1:] = -t
+                    np.add.accumulate(ys, out=ys)
+                    xv = xs[:-1]
+                    yv = ys[:-1]
+                    ok = ((xv + yv) >= t) & (yv >= t)
+                    if j == m:
+                        pass  # forced open
+                    elif j == m - 1:
+                        if not g < b:
+                            ok &= xv < t
+                    else:
+                        ok &= (xv < t) | ((((xv + yv) - t) + g) < t)
+                    take = length if bool(ok.all()) else int(np.argmin(ok))
+                    if take:
+                        x = float(xs[take])
+                        y = float(ys[take])
+                if take:
+                    i += take
+                    iu += take
+                    if iu == ocnt[ri]:
+                        ri += 1
+                        iu = 0
+                    emit(OPEN, take)
+                if take < length:
+                    break
+                chunk = min(chunk * 2, 1 << 16)
+    return [(letter, count) for letter, count in segments]
+
+
+def greedy_segments(
+    b0: float,
+    open_runs: Sequence[tuple[float, int]],
+    guarded_runs: Sequence[tuple[float, int]],
+    throughput: float,
+) -> Optional[list[tuple[str, int]]]:
+    """Run-length greedy word as ``(letter, count)`` segments.
+
+    Returns ``None`` when ``throughput`` is infeasible; at rates <= 0 the
+    guarded-first zero word of :func:`greedy_test` is returned.
+    """
+    n = sum(c for _, c in open_runs)
+    m = sum(c for _, c in guarded_runs)
+    if throughput <= 0.0:
+        segments = []
+        if m:
+            segments.append((GUARDED, m))
+        if n:
+            segments.append((OPEN, n))
+        return segments
+    return _greedy_word_runs(b0, open_runs, guarded_runs, throughput)
+
+
+def segments_to_word(segments: Sequence[tuple[str, int]]) -> str:
+    """Expand ``(letter, count)`` segments to a plain word string."""
+    return "".join(letter * count for letter, count in segments)
 
 
 def greedy_test(

@@ -27,6 +27,13 @@ from .robustness import (
     clip_to_capacities,
     perturbation_experiment,
 )
+from .scale import (
+    ScaleReport,
+    ShardFleet,
+    build_fleet,
+    measure_scale,
+    peak_rss_kb,
+)
 from .service import (
     ServiceReport,
     migration_fork_check,
@@ -61,4 +68,9 @@ __all__ = [
     "service_experiment",
     "migration_fork_check",
     "ServiceReport",
+    "measure_scale",
+    "build_fleet",
+    "ScaleReport",
+    "ShardFleet",
+    "peak_rss_kb",
 ]

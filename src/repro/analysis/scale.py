@@ -1,0 +1,362 @@
+"""End-to-end array pipeline for the n = 10^5..10^6 scale study.
+
+The classic path materializes O(n) Python objects at every stage:
+per-node bandwidth tuples, dict-of-dict schemes, ``BroadcastTree``
+lists, per-edge credit dicts.  Each stage here stays in run-length or
+flat-array form instead:
+
+    ClassRuns  --optimal_acyclic_throughput_runs-->  rate (bit-identical)
+               --collapsed_scheme-->                 RunScheme (O(classes
+                                                     + word alternations))
+               --RunScheme.edge_arrays-->            flat (src, dst, rate)
+               --decompose_broadcast_arrays-->       (weights, parents[K, n])
+               --_TreeShard.from_arrays-->           packed integer shards
+
+so the only O(n)-sized objects are numpy arrays, and the per-slot cost
+is the sharded backend's vectorized level sweep.  :func:`measure_scale`
+runs the whole chain once and reports per-phase wall times plus peak
+RSS — the numbers behind ``benchmarks/test_bench_scale.py``.
+
+:class:`ShardFleet` is the thin runner used in place of the full
+:class:`~repro.simulation.backends.sharded.ShardedBackend` (which wants
+a dict-based scheme in its config): it drives ``_TreeShard`` objects
+serially, across threads, or across forked processes over
+``multiprocessing.shared_memory`` — the same worker machinery, minus
+the dict detour.  It also supports O(K) diurnal rescaling
+(:meth:`ShardFleet.rescale`), the transport-side twin of
+:meth:`repro.core.runs.ClassRuns.scaled`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import time
+import uuid
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.acyclic_guarded import collapsed_scheme
+from ..core.runs import ClassRuns
+from ..flows.arborescence import decompose_broadcast_arrays
+from ..simulation.backends.sharded import (
+    _PROCESS_SHARDS,
+    _TreeShard,
+    _release_process_state,
+    _run_process_shard,
+)
+
+__all__ = ["ScaleReport", "ShardFleet", "build_fleet", "measure_scale", "peak_rss_kb"]
+
+#: The simulated stream runs a hair under the planned rate so integer
+#: packet quantization never outruns edge capacity.
+RATE_BACKOFF = 1.0 - 1e-9
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of *this* process, in KiB (Linux units).
+
+    ``ru_maxrss`` is a high-water mark — it never goes down — so tiered
+    benchmarks fork one child per tier and read this inside the child.
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class ShardFleet:
+    """A set of ``_TreeShard`` substreams plus a worker strategy.
+
+    ``worker_mode="process"`` mirrors the sharded backend: mutable shard
+    state moves into ``multiprocessing.shared_memory`` up front, the
+    fork pool is created lazily at first :meth:`run` (children inherit
+    the registry and the static arrays copy-on-write), and results are
+    bit-identical to the serial path.  Degrades to threads when there is
+    a single shard or worker, or no ``fork`` start method.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[_TreeShard],
+        *,
+        workers: int = 1,
+        worker_mode: Optional[str] = None,
+    ) -> None:
+        if worker_mode not in (None, "thread", "process"):
+            raise ValueError(f"unknown worker_mode {worker_mode!r}")
+        self.shards = list(shards)
+        self.workers = max(1, workers)
+        self.worker_mode = worker_mode or "thread"
+        self._token: Optional[str] = None
+        self._box: dict = {"executor": None}
+        if (
+            self.worker_mode == "process"
+            and self.workers > 1
+            and len(self.shards) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            shms: list = []
+            for shard in self.shards:
+                shms.extend(shard.to_shared())
+            token = uuid.uuid4().hex
+            _PROCESS_SHARDS[token] = self.shards
+            self._token = token
+            self._finalizer = weakref.finalize(
+                self, _release_process_state, token, shms, self._box
+            )
+        else:
+            self.worker_mode = "thread"
+
+    @property
+    def num(self) -> int:
+        return self.shards[0].num if self.shards else 0
+
+    def run(self, num_slots: int) -> None:
+        if self._token is not None:
+            pool = self._box["executor"]
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(self.shards)),
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+                self._box["executor"] = pool
+            list(
+                pool.map(
+                    _run_process_shard,
+                    [
+                        (self._token, i, num_slots)
+                        for i in range(len(self.shards))
+                    ],
+                )
+            )
+        elif self.workers > 1 and len(self.shards) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                list(pool.map(lambda s: s.run(num_slots), self.shards))
+        else:
+            for shard in self.shards:
+                shard.run(num_slots)
+
+    def rescale(self, factor: float) -> None:
+        """Diurnal drift at class granularity: every injection and
+        capacity rate scaled by ``factor`` in O(K) — no rebuild, no
+        O(n) pass.  The credit/packet state carries over, which is the
+        point: a bandwidth dip mid-broadcast slows delivery, it does
+        not reset it.
+
+        Under process mode the rate arrays are fork-inherited (static,
+        not shared), so the worker pool is retired and re-forked lazily
+        at the next :meth:`run` — O(workers), not O(n).
+        """
+        if factor <= 0.0 or not np.isfinite(factor):
+            raise ValueError(f"scale factor must be finite > 0: {factor}")
+        pool = self._box["executor"]
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._box["executor"] = None
+        for shard in self.shards:
+            shard.inj *= factor
+            shard.cap *= factor
+
+    def kill(self, node: int) -> None:
+        for shard in self.shards:
+            shard.kill(node)
+
+    def delivered(self) -> np.ndarray:
+        """Per-node distinct packets held (index 0 = source, always 0)."""
+        total = np.zeros(self.num, dtype=np.int64)
+        for shard in self.shards:
+            total += shard.recv.reshape(shard.K, shard.num).sum(axis=0)
+        total[0] = 0
+        return total
+
+    def close(self) -> None:
+        """Tear down the fork pool and shared segments eagerly."""
+        if self._token is not None:
+            self._finalizer()
+            self._token = None
+
+
+@dataclass(frozen=True)
+class ScaleReport:
+    """One tier of the scale benchmark: sizes, per-phase wall, RSS."""
+
+    num_nodes: int
+    num_classes: int
+    rate: float
+    cyclic_bound: float
+    num_trees: int
+    num_edges: int
+    slots: int
+    packets_per_slot: float
+    plan_seconds: float
+    decompose_seconds: float
+    build_seconds: float
+    simulate_seconds: float
+    min_goodput: float
+    dropped_rate: float
+    peak_rss_kb: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.plan_seconds
+            + self.decompose_seconds
+            + self.build_seconds
+            + self.simulate_seconds
+        )
+
+    @property
+    def node_slots_per_sec(self) -> float:
+        """The headline metric: simulated node-slots per wall second,
+        charged against the *whole* pipeline (plan + decompose + build +
+        simulate), not just the inner loop."""
+        return self.num_nodes * self.slots / max(self.total_seconds, 1e-12)
+
+    def as_dict(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_classes": self.num_classes,
+            "rate": self.rate,
+            "cyclic_bound": self.cyclic_bound,
+            "num_trees": self.num_trees,
+            "num_edges": self.num_edges,
+            "slots": self.slots,
+            "packets_per_slot": self.packets_per_slot,
+            "plan_seconds": self.plan_seconds,
+            "decompose_seconds": self.decompose_seconds,
+            "build_seconds": self.build_seconds,
+            "simulate_seconds": self.simulate_seconds,
+            "total_seconds": self.total_seconds,
+            "node_slots_per_sec": self.node_slots_per_sec,
+            "min_goodput": self.min_goodput,
+            "dropped_rate": self.dropped_rate,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+def build_fleet(
+    runs: ClassRuns,
+    *,
+    packets_per_slot: float = 64.0,
+    burst_cap: float = 4.0,
+    workers: int = 1,
+    worker_mode: Optional[str] = None,
+    min_tree_weight_frac: float = 0.0,
+) -> tuple[ShardFleet, float, dict]:
+    """Plan + decompose + shard one swarm; no simulation.
+
+    Returns ``(fleet, rate, timings)`` where ``rate`` is the planned
+    (not backed-off) acyclic optimum and ``timings`` holds the
+    ``plan`` / ``decompose`` / ``build`` phase seconds plus the edge and
+    tree counts.
+
+    ``min_tree_weight_frac`` truncates the greedy's geometric dust tail:
+    substream trees carrying less than that fraction of the total rate
+    are not simulated (per-slot cost is O(trees * n) regardless of
+    weight, and the greedy halves residuals, so the last trees cost as
+    much as the first while carrying ~nothing).  The dropped rate is
+    reported in ``timings["dropped_rate"]`` — the planned rate itself is
+    untouched, only the simulated substream total shrinks by that much.
+    """
+    num = runs.num_nodes
+    t0 = time.perf_counter()
+    sol = collapsed_scheme(runs)
+    rate = sol.throughput
+    t1 = time.perf_counter()
+    if not np.isfinite(rate) or rate <= 0.0:
+        raise ValueError(f"degenerate swarm: T*_ac = {rate}")
+    src, dst, err = sol.scheme.edge_arrays()
+    weights, parents = decompose_broadcast_arrays(num, src, dst, err)
+    dropped = 0.0
+    if min_tree_weight_frac > 0.0 and len(weights):
+        keep = weights >= min_tree_weight_frac * float(weights.sum())
+        keep[int(np.argmax(weights))] = True  # never drop the whole fleet
+        dropped = float(weights[~keep].sum())
+        weights, parents = weights[keep], parents[keep]
+    t2 = time.perf_counter()
+    rate_sim = rate * RATE_BACKOFF
+    ppu = packets_per_slot / rate_sim
+    fraction = RATE_BACKOFF
+    groups = max(1, min(workers, len(weights)))
+    shards = [
+        _TreeShard.from_arrays(
+            weights[g::groups],
+            parents[g::groups],
+            num,
+            fraction,
+            ppu,
+            burst_cap,
+        )
+        for g in range(groups)
+        if len(weights[g::groups])
+    ]
+    fleet = ShardFleet(shards, workers=workers, worker_mode=worker_mode)
+    t3 = time.perf_counter()
+    timings = {
+        "plan": t1 - t0,
+        "decompose": t2 - t1,
+        "build": t3 - t2,
+        "num_trees": int(len(weights)),
+        "num_edges": int(len(src)),
+        "dropped_rate": dropped,
+    }
+    return fleet, rate, timings
+
+
+def measure_scale(
+    runs: ClassRuns,
+    *,
+    slots: int = 256,
+    packets_per_slot: float = 64.0,
+    burst_cap: float = 4.0,
+    workers: int = 1,
+    worker_mode: Optional[str] = None,
+    min_tree_weight_frac: float = 0.0,
+) -> ScaleReport:
+    """Run the full array pipeline once and report timings + goodput.
+
+    ``min_goodput`` is the worst per-receiver delivery rate over the
+    whole run, in bandwidth units — it approaches the simulated rate
+    (``rate - dropped_rate``, see :func:`build_fleet`) from below as
+    ``slots`` outgrows the pipeline fill depth.
+    """
+    fleet, rate, timings = build_fleet(
+        runs,
+        packets_per_slot=packets_per_slot,
+        burst_cap=burst_cap,
+        workers=workers,
+        worker_mode=worker_mode,
+        min_tree_weight_frac=min_tree_weight_frac,
+    )
+    try:
+        t0 = time.perf_counter()
+        fleet.run(slots)
+        simulate = time.perf_counter() - t0
+        delivered = fleet.delivered()
+        ppu = packets_per_slot / (rate * RATE_BACKOFF)
+        min_goodput = (
+            float(delivered[1:].min()) / slots / ppu
+            if fleet.num > 1
+            else 0.0
+        )
+    finally:
+        fleet.close()
+    return ScaleReport(
+        num_nodes=runs.num_nodes,
+        num_classes=len(runs.open_runs) + len(runs.guarded_runs),
+        rate=rate,
+        cyclic_bound=runs.cyclic_optimum(),
+        num_trees=timings["num_trees"],
+        num_edges=timings["num_edges"],
+        slots=slots,
+        packets_per_slot=packets_per_slot,
+        plan_seconds=timings["plan"],
+        decompose_seconds=timings["decompose"],
+        build_seconds=timings["build"],
+        simulate_seconds=simulate,
+        min_goodput=min_goodput,
+        dropped_rate=timings["dropped_rate"],
+        peak_rss_kb=peak_rss_kb(),
+    )

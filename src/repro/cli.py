@@ -132,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "decomposed, acyclic schemes only), or "
                               "'auto' (sharded when the overlay "
                               "decomposes, reference otherwise)")
+    runtime.add_argument("--sim-worker-mode", default=None,
+                         choices=["thread", "process"],
+                         help="sharded-backend worker strategy for "
+                              "--workers > 1: 'thread' (GIL-shared, "
+                              "default) or 'process' (fork workers over "
+                              "multiprocessing.shared_memory; results "
+                              "are bit-identical either way)")
+    runtime.add_argument("--plan-slack", type=float, default=0.0,
+                         metavar="EPS",
+                         help="build plans at (1 - EPS) * T*_ac instead "
+                              "of the exact optimum, keeping an EPS "
+                              "fraction of upload credit spare so churn "
+                              "repairs on saturated swarms succeed "
+                              "instead of falling back to full rebuilds")
+    runtime.add_argument("--profile", action="store_true",
+                         help="after the run, print the per-phase "
+                              "wall-clock breakdown (plan / arbitrate / "
+                              "simulate / epoch-boundary)")
     runtime.add_argument("--warm-epochs", action="store_true",
                          help="carry packet buffers across epochs of the "
                               "same plan instead of restarting the "
@@ -746,6 +764,29 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not 0.0 <= args.plan_slack < 1.0:
+        print(
+            f"error: --plan-slack must be in [0, 1), got {args.plan_slack}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sim_worker_mode is not None and args.sim_backend not in (
+        "sharded",
+        "auto",
+    ):
+        print(
+            f"error: --sim-worker-mode applies to the sharded backend "
+            f"(pass --sim-backend sharded or auto, not "
+            f"{args.sim_backend!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile and args.batch:
+        print(
+            "error: --profile applies to a single run, not --batch sweeps",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.batch:
         seeds = range(args.seed, args.seed + args.seeds)
@@ -757,6 +798,8 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             engine_kwargs={
                 "min_epoch_slots": args.tick,
                 "estimator_warmstart": args.estimator_warmstart,
+                "plan_slack": args.plan_slack,
+                "sim_worker_mode": args.sim_worker_mode,
             },
             sim_backend=args.sim_backend,
             warm_epochs=args.warm_epochs,
@@ -787,23 +830,29 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         f"{len(run.events)} events over {run.horizon} slots; "
         f"controller {args.controller!r}, seed {args.seed}"
     )
-    engine = RuntimeEngine(
-        run.platform,
-        run.events,
-        run.horizon,
-        seed=args.seed,
-        min_epoch_slots=args.tick,
-        sim_backend=args.sim_backend,
-        warm_epochs=args.warm_epochs,
-        sim_workers=args.workers,
-        planner=args.planner,
-        repair_tolerance=args.repair_tolerance,
-        estimation=args.estimation,
-        probes_per_node=args.probes_per_node,
-        estimator_decay=args.estimator_decay,
-        noise_sigma=args.noise_sigma,
-        estimator_warmstart=args.estimator_warmstart,
-    )
+    try:
+        engine = RuntimeEngine(
+            run.platform,
+            run.events,
+            run.horizon,
+            seed=args.seed,
+            min_epoch_slots=args.tick,
+            sim_backend=args.sim_backend,
+            warm_epochs=args.warm_epochs,
+            sim_workers=args.workers,
+            sim_worker_mode=args.sim_worker_mode,
+            planner=args.planner,
+            repair_tolerance=args.repair_tolerance,
+            plan_slack=args.plan_slack,
+            estimation=args.estimation,
+            probes_per_node=args.probes_per_node,
+            estimator_decay=args.estimator_decay,
+            noise_sigma=args.noise_sigma,
+            estimator_warmstart=args.estimator_warmstart,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = engine.run(controller)
     print(
         format_table(
@@ -837,6 +886,18 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         f"overlay cache={result.cache_hits}/"
         f"{result.cache_hits + result.cache_misses}"
     )
+    if args.profile:
+        phases = result.phase_seconds
+        total = sum(phases.values())
+        denom = total if total > 0 else 1.0
+        print(
+            "profile: "
+            + "  ".join(
+                f"{name}={1000 * secs:.1f}ms ({100 * secs / denom:.0f}%)"
+                for name, secs in phases.items()
+            )
+            + f"  total={1000 * total:.1f}ms"
+        )
     if result.estimation == "online":
         err = result.mean_estimation_error
         print(

@@ -32,10 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..core.exceptions import DecompositionError
 from ..core.scheme import BroadcastScheme
 
-__all__ = ["BroadcastTree", "decompose_broadcast_trees", "verify_decomposition"]
+__all__ = [
+    "BroadcastTree",
+    "decompose_broadcast_trees",
+    "decompose_broadcast_arrays",
+    "verify_decomposition",
+]
 
 #: Residuals below this fraction of the total rate are treated as zero.
 _REL_EPS = 1e-9
@@ -166,6 +173,116 @@ def decompose_broadcast_trees(
     else:
         raise DecompositionError("round cap exceeded without converging")
     return trees
+
+
+def decompose_broadcast_arrays(
+    num: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rate: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-native greedy extraction: ``(weights, parents)`` matrices.
+
+    The scale path (:mod:`repro.analysis.scale`) produces edge arrays
+    straight from a packed :class:`~repro.core.runs.RunScheme`;
+    materializing a :class:`BroadcastScheme` (one dict per node) just to
+    tear it back into arrays dominates end-to-end time at n >= 10^5.
+    This runs the exact same greedy as :func:`decompose_broadcast_trees`
+    — per round, each receiver picks its *first largest* live in-edge
+    residual, the round weight is the minimum pick — with each round
+    vectorized over all edges via ``reduceat``, and returns ``weights``
+    (shape ``[K]``) plus ``parents`` (shape ``[K, num]``, ``parents[k, 0]
+    == -1``) ready for ``_TreeShard.from_arrays``.
+
+    Preconditions: the source is node 0, every ``dst`` lies in
+    ``1..num-1``, every receiver has at least one in-edge, in-rates are
+    equal across receivers, and the edge set is acyclic (unchecked here:
+    packed schemes are DAGs by construction; a cycle surfaces as an
+    unreachable node when the shard builds its level schedule).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    res = np.asarray(rate, dtype=np.float64).copy()
+    E = res.size
+    empty = (np.zeros(0, dtype=np.float64), np.zeros((0, num), dtype=np.int64))
+    if num <= 1:
+        return empty
+    if E == 0 or dst.min() < 1 or dst.max() >= num:
+        raise DecompositionError(
+            "edge arrays must target receivers 1..num-1"
+        )
+    order = np.argsort(dst, kind="stable")
+    src, dst, res = src[order], dst[order], res[order]
+    starts = np.searchsorted(dst, np.arange(1, num))
+    seg_counts = np.diff(np.append(starts, E))
+    if (seg_counts <= 0).any():
+        missing = int(np.argmax(seg_counts <= 0)) + 1
+        raise DecompositionError(
+            f"receiver {missing} has no in-edge; the greedy decomposition "
+            f"requires every receiver fed at the scheme rate"
+        )
+    in_rates = np.add.reduceat(res, starts)
+    total = float(in_rates[0])
+    tol = _REL_EPS * max(1.0, total)
+    # Packed-scheme edge rates come from differences of cumulative cut
+    # coordinates as large as ``num * rate``, so their absolute noise
+    # floor grows with ``num`` — budget eps per receiver on top of the
+    # rate-relative slack before declaring the in-rates unequal.
+    eq_tol = max(
+        tol, 4096.0 * np.finfo(np.float64).eps * num * max(1.0, total)
+    )
+    if (np.abs(in_rates - total) > eq_tol).any():
+        v = int(np.argmax(np.abs(in_rates - total) > eq_tol)) + 1
+        raise DecompositionError(
+            f"receiver {v} has in-rate {in_rates[v - 1]:g} != scheme rate "
+            f"{total:g}; the greedy decomposition only handles "
+            f"equal-in-rate schemes"
+        )
+    if total <= tol:
+        return empty
+
+    idx = np.arange(E, dtype=np.int64)
+    rows = np.arange(1, num)
+    weights: list[float] = []
+    parent_rows: list[np.ndarray] = []
+    remaining = total
+    max_indeg = int(seg_counts.max())
+    for _ in range(E + 1):
+        if remaining <= tol:
+            break
+        masked = np.where(res > tol, res, -np.inf)
+        seg_max = np.maximum.reduceat(masked, starts)
+        if not np.isfinite(seg_max.min()):
+            # A receiver's in-edges all carry only numerical dust — the
+            # same clean-termination bound the scalar extractor uses,
+            # widened by ``eq_tol``: a receiver whose in-rate legitimately
+            # sat ``eq_tol`` below the scheme rate strands exactly that
+            # much on top of the per-round dust.
+            if remaining <= eq_tol + _stranded_slack(
+                total, max_indeg + len(weights)
+            ):
+                break
+            v = int(np.argmax(~np.isfinite(seg_max))) + 1
+            raise DecompositionError(
+                f"receiver {v} ran out of in-capacity with {remaining:g} "
+                f"of rate left (numerically degenerate scheme?)"
+            )
+        w = min(remaining, float(seg_max.min()))
+        # First index achieving each segment's max — matches the scalar
+        # greedy's strict-> comparison (first encountered max wins).
+        is_max = masked == np.repeat(seg_max, seg_counts)
+        pick = np.minimum.reduceat(np.where(is_max, idx, E), starts)
+        res[pick] -= w
+        parent = np.full(num, -1, dtype=np.int64)
+        parent[rows] = src[pick]
+        weights.append(w)
+        parent_rows.append(parent)
+        remaining -= w
+    else:
+        raise DecompositionError("round cap exceeded without converging")
+    if not weights:
+        return empty
+    return np.array(weights, dtype=np.float64), np.vstack(parent_rows)
 
 
 def verify_decomposition(

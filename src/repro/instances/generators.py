@@ -26,7 +26,8 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.instance import Instance
+from ..core.instance import Instance, NodeKind
+from ..core.runs import ClassRuns
 from .planetlab import sample_planetlab
 
 __all__ = [
@@ -38,6 +39,8 @@ __all__ = [
     "DISTRIBUTIONS",
     "saturating_source_bw",
     "random_instance",
+    "class_runs",
+    "random_class_runs",
 ]
 
 
@@ -165,3 +168,84 @@ def random_instance(
     if source_bw is None:
         source_bw = saturating_source_bw(open_bws, guarded_bws)
     return Instance(source_bw, open_bws, guarded_bws)
+
+
+def class_runs(
+    source_bw: Optional[float],
+    classes: Sequence[tuple[str, float, int]],
+) -> ClassRuns:
+    """Class-structured constructor: ``(kind, bandwidth, multiplicity)``.
+
+    The scale-path front door — a million-node swarm described by a
+    handful of ``("open", 100.0, 250_000)``-style classes stays O(classes)
+    until something actually needs per-node data
+    (:meth:`~repro.core.runs.ClassRuns.to_instance` materializes
+    lazily, on demand).  ``source_bw=None`` applies the saturating
+    ``b0 = T*`` fixed point from the class aggregates — no expansion.
+    """
+    if source_bw is None:
+        n = sum(c for k, _, c in classes if k == NodeKind.OPEN)
+        m = sum(c for k, _, c in classes if k == NodeKind.GUARDED)
+        O = math.fsum(
+            bw * c for k, bw, c in classes if k == NodeKind.OPEN
+        )
+        G = math.fsum(
+            bw * c for k, bw, c in classes if k == NodeKind.GUARDED
+        )
+        candidates = []
+        if m >= 2:
+            candidates.append(O / (m - 1))
+        if n + m >= 2:
+            candidates.append((O + G) / (n + m - 1))
+        if candidates:
+            source_bw = min(candidates)
+        else:
+            source_bw = (O + G) / (n + m) if n + m else 1.0
+    return ClassRuns.from_classes(source_bw, classes)
+
+
+def random_class_runs(
+    rng: np.random.Generator,
+    size: int,
+    open_prob: float,
+    distribution: str | Callable[[np.random.Generator, int], np.ndarray],
+    *,
+    num_classes: int = 8,
+    source_bw: Optional[float] = None,
+) -> ClassRuns:
+    """Sample a class-structured swarm of ``size`` receivers.
+
+    ``num_classes`` bandwidth values are drawn from ``distribution``;
+    each class is open with probability ``open_prob`` and the ``size``
+    receivers are spread over the classes via a multinomial split — the
+    run-length analogue of :func:`random_instance` (same distributions,
+    same saturating default for the source).  Cost is O(num_classes),
+    independent of ``size``.
+    """
+    if not 0.0 <= open_prob <= 1.0:
+        raise ValueError(f"open_prob must be in [0, 1], got {open_prob}")
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if size < num_classes:
+        raise ValueError(
+            f"size ({size}) must be >= num_classes ({num_classes})"
+        )
+    sampler = (
+        DISTRIBUTIONS[distribution]
+        if isinstance(distribution, str)
+        else distribution
+    )
+    bws = np.asarray(sampler(rng, num_classes), dtype=float)
+    kinds = np.where(
+        rng.random(num_classes) < open_prob, NodeKind.OPEN, NodeKind.GUARDED
+    )
+    # Every class keeps at least one member; the rest multinomial.
+    counts = np.ones(num_classes, dtype=np.int64)
+    extra = size - num_classes
+    if extra > 0:
+        counts += rng.multinomial(extra, np.full(num_classes, 1.0 / num_classes))
+    classes = [
+        (str(kinds[i]), float(bws[i]), int(counts[i]))
+        for i in range(num_classes)
+    ]
+    return class_runs(source_bw, classes)

@@ -16,7 +16,11 @@ of *when* controllers request them:
 * :mod:`~repro.planning.repair` — :class:`IncrementalRepairPlanner`,
   which patches the surviving overlay locally (resumable Lemma 4.6
   packing) and falls back to a full rebuild past a degradation
-  tolerance.
+  tolerance;
+* :mod:`~repro.planning.collapsed` — :class:`ClassCollapsedPlanner`,
+  which plans in run-length (class, multiplicity) space and expands
+  per-node structure lazily — the n = 10^5..10^6 scale path, with
+  bit-identical rates to the per-node pipeline.
 
 Planners are registered by name in :data:`PLANNERS` and spawned via
 :func:`make_planner`, mirroring the controller registry.
@@ -32,9 +36,11 @@ from .planner import (
     make_planner,
     planner_names,
 )
+from .collapsed import ClassCollapsedPlanner
 from .repair import IncrementalRepairPlanner
 
 PLANNERS.setdefault(IncrementalRepairPlanner.name, IncrementalRepairPlanner)
+PLANNERS.setdefault(ClassCollapsedPlanner.name, ClassCollapsedPlanner)
 
 __all__ = [
     "Plan",
@@ -45,6 +51,7 @@ __all__ = [
     "Planner",
     "FullRebuildPlanner",
     "IncrementalRepairPlanner",
+    "ClassCollapsedPlanner",
     "PLANNERS",
     "coalesce_events",
     "make_planner",

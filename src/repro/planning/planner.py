@@ -55,12 +55,46 @@ class Planner:
 
 
 class FullRebuildPlanner(Planner):
-    """Today's behavior: every plan is a from-scratch optimization."""
+    """Today's behavior: every plan is a from-scratch optimization.
+
+    ``slack`` reserves a fraction of the optimal rate as spare upload
+    credit at build time: the plan provisions ``(1 - slack) * T*_ac``
+    instead of the exact optimum, so every feeder keeps headroom and
+    later incremental repairs on a saturated swarm can draw credit
+    instead of falling back to a full rebuild.  Keep ``slack`` below the
+    repair planner's degradation ``tolerance`` or every repair will
+    immediately trip the fallback check.
+    """
 
     name = "full"
 
+    def __init__(self, slack: float = 0.0) -> None:
+        if not 0.0 <= slack < 1.0:
+            raise ValueError(f"slack must be in [0, 1), got {slack}")
+        self.slack = float(slack)
+
     def build(self, engine: "RuntimeEngine") -> Plan:
         return self._build_with_solution(engine)[0]
+
+    def _solve(self, cache, instance):
+        """Memoized Theorem 4.1 solve, derated by ``slack`` when set.
+
+        The derated build is keyed separately (same LRU) on
+        ``("slack-build", instance, slack)``: the target rate
+        ``(1 - slack) * T*_ac`` is below the optimum, hence feasible by
+        monotonicity of word validity.
+        """
+        if self.slack == 0.0:
+            return cache.solve(instance)
+        key = ("slack-build", instance, self.slack)
+        sol = cache.get(key)
+        if sol is None:
+            target = (1.0 - self.slack) * cache.solve(instance).throughput
+            from ..algorithms.acyclic_guarded import acyclic_guarded_scheme
+
+            sol = acyclic_guarded_scheme(instance, target)
+            cache.put(key, sol)
+        return sol
 
     def _build_with_solution(self, engine: "RuntimeEngine"):
         """``(plan, AcyclicSolution)`` — subclasses also need the
@@ -72,7 +106,7 @@ class FullRebuildPlanner(Planner):
         contract, so the whole planning stack is estimation-agnostic.
         """
         instance, node_ids = engine.view.snapshot()
-        sol = engine.cache.solve(instance)
+        sol = self._solve(engine.cache, instance)
         plan = Plan(
             instance=instance,
             scheme=sol.scheme,

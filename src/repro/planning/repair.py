@@ -200,6 +200,33 @@ class _OverlayModel:
         del self.bandwidths[node]
         return self._refeed(deficits)
 
+    def apply_swap(
+        self, old: int, new: int, kind: str, bandwidth: float
+    ) -> None:
+        """Relabel ``old`` as ``new``: a departure whose replacement has
+        the *same class* (kind and bandwidth) inherits the departed
+        node's edges, pool entry and feed position wholesale — O(degree)
+        instead of drop + re-feed + attach."""
+        if old not in self.kinds:
+            raise _RepairFailed(f"swap departure of unplanned node {old}")
+        if new in self.kinds:
+            raise _RepairFailed(f"swap join of already-planned node {new}")
+        if self.kinds[old] != kind or self.bandwidths[old] != bandwidth:
+            raise _RepairFailed(
+                f"swap of {old} -> {new} does not preserve its class"
+            )
+        self.kinds[new] = self.kinds.pop(old)
+        self.bandwidths[new] = self.bandwidths.pop(old)
+        row = self.out.pop(old)
+        self.out[new] = row
+        for child in row:
+            self.inc[child][new] = self.inc[child].pop(old)
+        inc = self.inc.pop(old)
+        self.inc[new] = inc
+        for parent in inc:
+            self.out[parent][new] = self.out[parent].pop(old)
+        self.packing.rename(old, new)
+
     def apply_join(self, node: int, kind: str, bandwidth: float) -> None:
         if node in self.kinds:
             raise _RepairFailed(f"join of already-planned node {node}")
@@ -312,15 +339,30 @@ class IncrementalRepairPlanner(FullRebuildPlanner):
 
     name = "incremental"
 
-    def __init__(self, tolerance: float = 0.1, *, validate: bool = True) -> None:
+    def __init__(
+        self,
+        tolerance: float = 0.1,
+        *,
+        validate: bool = True,
+        slack: float = 0.0,
+    ) -> None:
+        super().__init__(slack=slack)
         if not 0.0 <= tolerance < 1.0:
             raise ValueError(
                 f"tolerance must be in [0, 1), got {tolerance}"
+            )
+        if slack > 0.0 and slack >= tolerance:
+            raise ValueError(
+                f"slack ({slack}) must stay below tolerance ({tolerance}): "
+                "a derated build already sits `slack` under the optimum, so "
+                "slack >= tolerance would trip the degradation fallback on "
+                "every repair"
             )
         self.tolerance = float(tolerance)
         self.validate = validate
         self.repairs = 0  #: incremental deltas applied
         self.fallbacks = 0  #: replanning requests that fell back to build
+        self.swaps = 0  #: class-preserving swap repairs (subset of repairs)
         self.last_delta: Optional[PlanDelta] = None
         self.degradation = 0.0  #: ``1 - rate / T*`` after the last repair
         self._model: Optional[_OverlayModel] = None
@@ -358,23 +400,38 @@ class IncrementalRepairPlanner(FullRebuildPlanner):
         drifted: list[int] = []
         refed: list[int] = []
         model.edges_added = model.edges_removed = 0
+        swaps = self._class_preserving_swaps(model, events)
         try:
-            for ev in events:
-                if isinstance(ev, NodeLeave):
-                    refed.extend(model.apply_leave(ev.node_id))
-                    departed.append(ev.node_id)
-                elif isinstance(ev, NodeJoin):
-                    if ev.node_id is None:
-                        raise _RepairFailed("join without a resolved node id")
-                    model.apply_join(ev.node_id, ev.kind, ev.bandwidth)
-                    joined.append(ev.node_id)
-                elif isinstance(ev, BandwidthDrift):
-                    refed.extend(model.apply_drift(ev.node_id, ev.bandwidth))
-                    drifted.append(ev.node_id)
-                else:
-                    raise _RepairFailed(
-                        f"unknown event type {type(ev).__name__}"
-                    )
+            if swaps is not None:
+                # Churn that preserves class counts: every departure is
+                # relabeled as its same-class replacement — no credit
+                # churn, no re-feeding, no edge rewiring.
+                for old, new, kind, bandwidth in swaps:
+                    model.apply_swap(old, new, kind, bandwidth)
+                    departed.append(old)
+                    joined.append(new)
+                self.swaps += 1
+            else:
+                for ev in events:
+                    if isinstance(ev, NodeLeave):
+                        refed.extend(model.apply_leave(ev.node_id))
+                        departed.append(ev.node_id)
+                    elif isinstance(ev, NodeJoin):
+                        if ev.node_id is None:
+                            raise _RepairFailed(
+                                "join without a resolved node id"
+                            )
+                        model.apply_join(ev.node_id, ev.kind, ev.bandwidth)
+                        joined.append(ev.node_id)
+                    elif isinstance(ev, BandwidthDrift):
+                        refed.extend(
+                            model.apply_drift(ev.node_id, ev.bandwidth)
+                        )
+                        drifted.append(ev.node_id)
+                    else:
+                        raise _RepairFailed(
+                            f"unknown event type {type(ev).__name__}"
+                        )
         except _RepairFailed as exc:
             return self._fallback(engine, str(exc))
 
@@ -418,6 +475,50 @@ class IncrementalRepairPlanner(FullRebuildPlanner):
                 key, (_clone_plan(new_plan), self.last_delta, model.clone())
             )
         return PlanOutcome(new_plan, op="repair", delta=self.last_delta)
+
+    # ------------------------------------------------------------------
+    # Class-preserving swap detection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _class_preserving_swaps(
+        model: _OverlayModel, events: tuple
+    ) -> Optional[list[tuple[int, int, str, float]]]:
+        """Pair each departure with a same-class join, or ``None``.
+
+        A batch of only leaves and joins whose (kind, bandwidth)
+        multisets match exactly preserves the class counts of the swarm:
+        each replacement can inherit its predecessor's overlay role via
+        :meth:`_OverlayModel.apply_swap` and the repaired plan keeps the
+        identical edge structure and rate.
+        """
+        from ..runtime.events import NodeJoin, NodeLeave
+
+        leaves: list[int] = []
+        joins: list = []
+        for ev in events:
+            if isinstance(ev, NodeLeave):
+                leaves.append(ev.node_id)
+            elif isinstance(ev, NodeJoin):
+                if ev.node_id is None:
+                    return None
+                joins.append(ev)
+            else:
+                return None
+        if not leaves or len(leaves) != len(joins):
+            return None
+        pending: Dict[tuple, list[int]] = {}
+        for node in leaves:
+            if node not in model.kinds:
+                return None
+            key = (model.kinds[node], model.bandwidths[node])
+            pending.setdefault(key, []).append(node)
+        swaps = []
+        for ev in joins:
+            stack = pending.get((ev.kind, ev.bandwidth))
+            if not stack:
+                return None
+            swaps.append((stack.pop(), ev.node_id, ev.kind, ev.bandwidth))
+        return swaps
 
     # ------------------------------------------------------------------
     # Delta-keyed memoization

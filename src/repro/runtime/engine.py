@@ -172,6 +172,10 @@ class RunResult:
     plan_seconds: float = 0.0  #: total wall time spent inside the planner
     estimation: str = "oracle"  #: bandwidth feed: ``"oracle"`` / ``"online"``
     probes: int = 0  #: total pairwise probes the run paid for
+    #: Wall-time breakdown of the run loop (``plan`` / ``arbitrate`` /
+    #: ``simulate`` / ``epoch_boundary``), surfaced by ``--profile``.
+    #: Measurement noise: excluded from equality like ``plan_seconds``.
+    phase_seconds: dict = field(default_factory=dict, compare=False)
 
     def _weighted(self, attr: str) -> float:
         total = sum(e.slots for e in self.epochs)
@@ -243,8 +247,10 @@ class RuntimeEngine:
         sim_backend: str = "reference",
         warm_epochs: bool = False,
         sim_workers: Optional[int] = None,
+        sim_worker_mode: Optional[str] = None,
         planner: Union[str, Planner, None] = None,
         repair_tolerance: Optional[float] = None,
+        plan_slack: float = 0.0,
         estimation: Optional[str] = None,
         probes_per_node: float = 4.0,
         estimator_decay: float = 0.8,
@@ -281,10 +287,24 @@ class RuntimeEngine:
                 f"worker support ('sharded', or 'auto' on decomposable "
                 f"schemes); {sim_backend!r} is single-threaded"
             )
+        if sim_worker_mode not in (None, "thread", "process"):
+            raise ValueError(
+                f"sim_worker_mode must be None, 'thread' or 'process', "
+                f"got {sim_worker_mode!r}"
+            )
         if isinstance(planner, str) and planner not in planner_names():
             raise ValueError(
                 f"unknown planner {planner!r} "
                 f"(known: {', '.join(planner_names())})"
+            )
+        if not 0.0 <= plan_slack < 1.0:
+            raise ValueError(
+                f"plan_slack must be in [0, 1), got {plan_slack}"
+            )
+        if plan_slack > 0.0 and isinstance(planner, Planner):
+            raise ValueError(
+                "plan_slack applies to planners built by name; configure "
+                "an explicit planner instance with slack=... directly"
             )
         if repair_tolerance is not None:
             if not 0.0 <= repair_tolerance < 1.0:
@@ -328,10 +348,14 @@ class RuntimeEngine:
         self.sim_backend = sim_backend
         self.warm_epochs = bool(warm_epochs)
         self.sim_workers = sim_workers
+        self.sim_worker_mode = sim_worker_mode
         self._rng = random.Random(seed)
         self.now = 0
         self._planner_spec = planner
         self.repair_tolerance = repair_tolerance
+        self.plan_slack = float(plan_slack)
+        #: Run-loop wall-time breakdown, reset per :meth:`run`.
+        self.phase_seconds: dict[str, float] = {}
         # A concrete spec (instance or name) materializes eagerly; only
         # ``None`` waits for run() to pair a default with the controller.
         self.planner: Optional[Planner] = None
@@ -471,6 +495,8 @@ class RuntimeEngine:
         kwargs = {}
         if name == "incremental" and self.repair_tolerance is not None:
             kwargs["tolerance"] = self.repair_tolerance
+        if self.plan_slack > 0.0:
+            kwargs["slack"] = self.plan_slack
         return make_planner(name, **kwargs)
 
     def _resolve_planner(self, controller: "Controller") -> Planner:
@@ -548,29 +574,48 @@ class RuntimeEngine:
         if self.planner is None:
             self.planner = self._resolve_planner(controller)
 
+        # Wall-time breakdown for --profile: ``plan`` is time inside the
+        # planner, ``arbitrate`` the controller's decision logic around
+        # it, ``simulate`` the epoch transport, ``epoch_boundary`` the
+        # event application / estimation / bookkeeping between epochs.
+        phases = {
+            "plan": 0.0, "arbitrate": 0.0,
+            "simulate": 0.0, "epoch_boundary": 0.0,
+        }
+        self.phase_seconds = phases
+
+        tick = time.perf_counter()
         initial = self.queue.pop_until(0)
         initial = [self._apply_event(ev) for ev in initial]
         self._observe(tuple(initial))
+        phases["epoch_boundary"] += time.perf_counter() - tick
+        tick = time.perf_counter()
         plan = controller.start(self)
+        decided = time.perf_counter() - tick
         outcome = self._consume_outcome(plan)
         self.active_plan = plan
         rebuilds += 1  # the initial build counts as one optimization
         plan_seconds += outcome.seconds
+        phases["plan"] += outcome.seconds
+        phases["arbitrate"] += max(0.0, decided - outcome.seconds)
         plan_op, op_seconds = "build", outcome.seconds
 
         fired: tuple[Event, ...] = tuple(initial)
         while self.now < self.horizon:
             end = self._epoch_end(controller)
+            tick = time.perf_counter()
             report = self._simulate_epoch(
                 plan, self.now, end, fired,
                 rebuilt=(self.now == plan.built_at),
                 plan_op=plan_op if self.now == plan.built_at else "keep",
                 plan_seconds=op_seconds if self.now == plan.built_at else 0.0,
             )
+            phases["simulate"] += time.perf_counter() - tick
             epochs.append(report)
             self.now = end
             if self.now >= self.horizon:
                 break
+            tick = time.perf_counter()
             popped = self.queue.pop_until(self.now)
             applied = []
             for ev in popped:
@@ -580,7 +625,10 @@ class RuntimeEngine:
                     pending_departures.append(ev.time)
             fired = tuple(applied)
             self._observe(fired)
+            phases["epoch_boundary"] += time.perf_counter() - tick
+            tick = time.perf_counter()
             new_plan = controller.on_change(self, fired)
+            decided = time.perf_counter() - tick
             if new_plan is not None:
                 plan = new_plan
                 outcome = self._consume_outcome(plan)
@@ -591,11 +639,15 @@ class RuntimeEngine:
                     rebuilds += 1
                     repair_fallbacks += int(outcome.fallback)
                 plan_seconds += outcome.seconds
+                phases["plan"] += outcome.seconds
+                phases["arbitrate"] += max(0.0, decided - outcome.seconds)
                 plan_op, op_seconds = outcome.op, outcome.seconds
                 repair_latencies.extend(
                     self.now - t for t in pending_departures
                 )
                 pending_departures.clear()
+            else:
+                phases["arbitrate"] += decided
 
         hits, misses = self.cache.stats()
         return RunResult(
@@ -613,6 +665,7 @@ class RuntimeEngine:
             plan_seconds=plan_seconds,
             estimation=self.estimation,
             probes=sum(e.probes for e in epochs),
+            phase_seconds=dict(phases),
         )
 
     def _apply_event(self, ev: Event) -> Event:
@@ -707,6 +760,7 @@ class RuntimeEngine:
                     failures={k: 0 for k in failed},
                     backend=self.sim_backend,
                     workers=self.sim_workers,
+                    worker_mode=self.sim_worker_mode,
                 ).goodput
             for k, node_id in enumerate(plan.node_ids):
                 if k > 0 and node_id in goodput_by_id:
@@ -768,6 +822,7 @@ class RuntimeEngine:
                 failures={k: 0 for k in failed},
                 backend=self.sim_backend,
                 workers=self.sim_workers,
+                worker_mode=self.sim_worker_mode,
             )
             self._warm_sim = sim
             self._warm_plan = plan

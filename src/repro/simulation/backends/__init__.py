@@ -36,9 +36,15 @@ Which backend applies where:
 * ``sharded`` — decomposes an acyclic equal-in-rate scheme into weighted
   arborescences (:mod:`repro.flows.arborescence`) and pipelines each
   substream deterministically with numpy, optionally across
-  ``concurrent.futures`` workers.  Raises
+  ``concurrent.futures`` workers (``worker_mode="thread"`` GIL-shared,
+  or ``"process"`` over fork + ``multiprocessing.shared_memory`` —
+  bit-identical results either way).  Raises
   :class:`~repro.core.exceptions.DecompositionError` on cyclic schemes —
   ``backend="auto"`` falls back to the reference there.
+* ``bitset`` — packed-uint64 per-node packet sets with word-wide
+  useful-packet transfers and *no RNG*: fully deterministic, exact
+  sharded agreement on single-tree schemes, statistical equivalence to
+  the reference elsewhere (see :mod:`.bitset`).
 """
 
 from __future__ import annotations
@@ -126,3 +132,4 @@ def make_backend(
 from . import reference as _reference  # noqa: E402,F401
 from . import sharded as _sharded  # noqa: E402,F401
 from . import vectorized as _vectorized  # noqa: E402,F401
+from . import bitset as _bitset  # noqa: E402,F401

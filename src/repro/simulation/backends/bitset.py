@@ -1,0 +1,212 @@
+"""Deterministic packed-bitset backend: per-node sets become uint64 words.
+
+The reference backend keeps one Python ``set`` of packet ids per node
+and samples useful packets with an RNG — O(packets) of pointer-heavy
+work per transfer, which is exactly what melts at n >= 10^5.  This
+backend replaces every per-node set with a row of packed uint64 words
+(``have[v]``, bit ``p`` = node ``v`` holds packet ``p``) and the whole
+transfer step with word-wide boolean algebra:
+
+* ``useful = have[src] & ~have[dst]`` — the useful-packet set of an
+  edge, 64 packets per word operation;
+* whole-packet credit follows the sharded backend's arithmetic exactly
+  (``gained = min(credit + cap, burst + cap)``, ``moved =
+  min(floor(gained), |useful|)``, remainder carried);
+* of the useful set, the **lowest** ``moved`` bits are delivered
+  (in-order preference, computed by unpack -> cumsum -> mask -> pack) —
+  a deterministic drop-in for the reference's uniform sampling.
+
+Determinism is the point: there is *no RNG anywhere*, so a run is a pure
+function of the scheme — ``step(a); step(b)`` equals ``step(a + b)``
+bit-for-bit, snapshots replay exactly, and two runs of the same scheme
+agree across machines.  On single-tree schemes the bitset dynamics
+collapse to the sharded backend's integer counters (every ``have`` row
+stays a prefix, so lowest-``k`` selection *is* in-order delivery) and
+the two backends agree exactly; on general schemes it is statistically
+equivalent to the reference (same credit model, different tie-breaking),
+which the equivalence tests pin at small ``n``.
+
+Edges advance in topological-depth order (parents first, so a packet can
+cross the whole overlay in one slot when credit allows, like the other
+backends), split into sub-rounds in which every destination appears at
+most once so the word-wide ``|=`` never aliases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from . import SimBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core import SimConfig
+
+__all__ = ["BitsetBackend"]
+
+_WORD = 64
+
+
+class _EdgeGroups:
+    """Edges bucketed by (depth of dst, occurrence rank per dst).
+
+    Static after construction; the mutable run state indexes into these
+    arrays.  Construction is O(E log E).
+    """
+
+    def __init__(self, num: int, edges: list[tuple[int, int, float]]) -> None:
+        if any(j == 0 for _, j, _ in edges):
+            raise ValueError("the source cannot receive")
+        depth = np.zeros(num, dtype=np.int64)
+        # Longest-path depth over the DAG; edges are relaxed repeatedly
+        # (at most num rounds — cycles would never converge).
+        for _ in range(num):
+            changed = False
+            for i, j, _ in edges:
+                if depth[j] < depth[i] + 1:
+                    depth[j] = depth[i] + 1
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise ValueError("scheme contains a cycle")
+        # Stable order: (depth(dst), dst, position) — then occurrence
+        # rank within each dst splits a depth bucket into alias-free
+        # sub-rounds.
+        order = sorted(
+            range(len(edges)), key=lambda e: (depth[edges[e][1]], edges[e][1], e)
+        )
+        seen: dict[int, int] = {}
+        keys = []
+        for e in order:
+            j = edges[e][1]
+            occ = seen.get(j, 0)
+            seen[j] = occ + 1
+            keys.append((int(depth[j]), occ, e))
+        keys.sort()
+        self.groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        src = np.array([edges[e][0] for _, _, e in keys], dtype=np.int64)
+        dst = np.array([edges[e][1] for _, _, e in keys], dtype=np.int64)
+        eid = np.array([e for _, _, e in keys], dtype=np.int64)
+        bounds = [0]
+        for k in range(1, len(keys)):
+            if keys[k][:2] != keys[k - 1][:2]:
+                bounds.append(k)
+        bounds.append(len(keys))
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            self.groups.append((src[a:b], dst[a:b], eid[a:b]))
+
+
+@register_backend
+class BitsetBackend(SimBackend):
+    """Packed-uint64 useful-packet broadcast, fully deterministic."""
+
+    name = "bitset"
+    supports_workers = False
+
+    def __init__(self, config: "SimConfig", rng: random.Random) -> None:
+        # rng accepted for protocol compatibility and deliberately
+        # unused: determinism is this backend's contract.
+        self.config = config
+        num = config.num
+        edges = config.edge_list()
+        self.cap = np.array([c for _, _, c in edges], dtype=np.float64)
+        self.src = np.array([i for i, _, _ in edges], dtype=np.int64)
+        self.dst = np.array([j for _, j, _ in edges], dtype=np.int64)
+        self._groups = _EdgeGroups(num, edges)
+        self.burst = config.burst_cap
+        self.pkt_rate = config.pkt_rate
+        self.num = num
+        self.injected = 0.0
+        self.credit = np.zeros(len(edges), dtype=np.float64)
+        self.alive = np.ones(len(edges), dtype=bool)
+        self.have = np.zeros((num, 1), dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, packets: int) -> None:
+        words = packets // _WORD + 2
+        if words > self.have.shape[1]:
+            grown = np.zeros((self.num, words), dtype=np.uint64)
+            grown[:, : self.have.shape[1]] = self.have
+            self.have = grown
+
+    def _set_source_prefix(self, navail: int) -> None:
+        row = self.have[0]
+        full, rem = navail // _WORD, navail % _WORD
+        row[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            row[full] = np.uint64((1 << rem) - 1)
+
+    def run(self, start_slot: int, num_slots: int) -> None:
+        self._ensure_capacity(
+            int(self.injected + self.pkt_rate * num_slots) + _WORD
+        )
+        have, credit, cap, alive = self.have, self.credit, self.cap, self.alive
+        burst = self.burst
+        W = have.shape[1]
+        for _ in range(num_slots):
+            self.injected += self.pkt_rate
+            self._set_source_prefix(int(self.injected))
+            for srcs, dsts, eids in self._groups.groups:
+                live = alive[eids]
+                gained = np.minimum(
+                    credit[eids] + cap[eids], burst + cap[eids]
+                )
+                useful = have[srcs] & ~have[dsts]
+                count = np.bitwise_count(useful).sum(
+                    axis=1, dtype=np.int64
+                )
+                moved = np.where(
+                    live, np.minimum(gained.astype(np.int64), count), 0
+                )
+                if moved.any():
+                    bits = np.unpackbits(
+                        useful.view(np.uint8), axis=1, bitorder="little"
+                    )
+                    csum = np.cumsum(bits, axis=1, dtype=np.int64)
+                    bits &= csum <= moved[:, None]
+                    sel = np.ascontiguousarray(
+                        np.packbits(bits, axis=1, bitorder="little")
+                    ).view(np.uint64).reshape(len(srcs), W)
+                    have[dsts] |= sel
+                credit[eids] = np.where(live, gained - moved, credit[eids])
+
+    def kill(self, node: int) -> None:
+        self.alive &= (self.src != node) & (self.dst != node)
+
+    def delivered(self) -> list[int]:
+        # No duplicate deliveries exist (useful-packet filter), so
+        # cumulative arrivals == distinct packets held.
+        counts = np.bitwise_count(self.have).sum(axis=1, dtype=np.int64)
+        counts[0] = 0
+        return counts.tolist()
+
+    def received(self) -> list[int]:
+        return self.delivered()
+
+    def state(self) -> dict:
+        # Live references: the engine owns the (single) deep copy.
+        return {
+            "injected": self.injected,
+            "credit": self.credit,
+            "alive": self.alive,
+            "have": self.have,
+        }
+
+    def load(self, payload: dict) -> None:
+        if (
+            payload["credit"].shape != self.credit.shape
+            or payload["have"].shape[0] != self.num
+        ):
+            raise ValueError(
+                "snapshot does not match this engine's overlay "
+                f"({payload['have'].shape[0]} node(s) / "
+                f"{payload['credit'].size} edge(s) saved vs "
+                f"{self.num} / {self.credit.size} here)"
+            )
+        self.injected = payload["injected"]
+        self.credit = payload["credit"]
+        self.alive = payload["alive"]
+        self.have = payload["have"]

@@ -26,9 +26,12 @@ falls back to the reference backend for those.
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import uuid
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -40,6 +43,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core import SimConfig
 
 __all__ = ["ShardedBackend"]
+
+#: Fork-inherited shard registry for ``worker_mode="process"``.  The
+#: parent registers its shards *before* the pool forks; children inherit
+#: the whole mapping (static arrays copy-on-write, mutable arrays as
+#: views into ``multiprocessing.shared_memory`` — the mmap is a shared
+#: mapping, so child mutations land in parent-visible memory directly
+#: and nothing but ``(token, shard index, slots)`` ever crosses a pipe).
+_PROCESS_SHARDS: dict = {}  # token -> list of _TreeShard
+
+
+def _run_process_shard(args: tuple) -> None:
+    token, index, num_slots = args
+    _PROCESS_SHARDS[token][index].run(num_slots)
+
+
+def _release_process_state(token: str, shms: list, box: dict) -> None:
+    pool = box.get("executor")
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    _PROCESS_SHARDS.pop(token, None)
+    for shm in shms:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
 
 #: Value-keyed memo of recent decompositions.  The runtime engine's
 #: cold mode builds a fresh backend on an unchanged scheme every epoch
@@ -87,12 +116,50 @@ class _TreeShard:
         burst_cap: float,
     ) -> None:
         K = len(trees)
-        self.num = num
-        self.K = K
         weights = np.array([t.weight for t in trees], dtype=float)
-        self.parents = np.array(
+        parents = np.array(
             [t.parent for t in trees], dtype=np.int64
         ).reshape(K, num)
+        self._init_arrays(
+            weights, parents, num, rate_fraction, packets_per_unit, burst_cap
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        weights: np.ndarray,
+        parents: np.ndarray,
+        num: int,
+        rate_fraction: float,
+        packets_per_unit: float,
+        burst_cap: float,
+    ) -> "_TreeShard":
+        """Build straight from ``decompose_broadcast_arrays`` output —
+        the scale path never materializes :class:`BroadcastTree`s."""
+        self = object.__new__(cls)
+        self._init_arrays(
+            np.asarray(weights, dtype=float),
+            np.asarray(parents, dtype=np.int64).reshape(len(weights), num),
+            num,
+            rate_fraction,
+            packets_per_unit,
+            burst_cap,
+        )
+        return self
+
+    def _init_arrays(
+        self,
+        weights: np.ndarray,
+        parents: np.ndarray,
+        num: int,
+        rate_fraction: float,
+        packets_per_unit: float,
+        burst_cap: float,
+    ) -> None:
+        K = len(weights)
+        self.num = num
+        self.K = K
+        self.parents = parents
         #: Substream injection rate (packets/slot): the tree's share of
         #: the requested stream rate.
         self.inj = weights * rate_fraction * packets_per_unit
@@ -106,6 +173,28 @@ class _TreeShard:
         self.alive = np.ones(K * (num - 1), dtype=bool)
         self._src_idx = np.arange(K) * num
         self._levels = self._build_levels()
+
+    def to_shared(self) -> list:
+        """Move the mutable state into ``multiprocessing.shared_memory``.
+
+        Returns the (parent-owned) segments; the arrays become views
+        into them, so after the worker pool forks, both sides mutate the
+        same physical pages.  Static arrays (parents, levels, rates)
+        stay ordinary — fork shares them copy-on-write.
+        """
+        from multiprocessing import shared_memory
+
+        shms = []
+        for name in ("injected", "recv", "credit", "alive"):
+            arr = getattr(self, name)
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(arr.nbytes, 1)
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            setattr(self, name, view)
+            shms.append(shm)
+        return shms
 
     def _build_levels(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Group tree edges by receiver depth (parents before children)."""
@@ -136,24 +225,48 @@ class _TreeShard:
 
     def run(self, num_slots: int) -> None:
         recv, credit, alive = self.recv, self.credit, self.alive
-        cap, burst = self.cap, self.burst_cap
+        cap, K, num = self.cap, self.K, self.num
+        # Whole-slot flat passes + a tiny per-level propagation step.
+        # ``recv[v] <= recv[parent(v)]`` is invariant inside a tree (both
+        # start at 0, a child only ever catches up to its parent, and the
+        # source only grows), so the per-edge transfer
+        #     moved = min(floor(gained), recv'[parent] - recv[v])
+        # is exactly ``recv'[v] = min(recv[v] + floor(gained),
+        # recv'[parent])`` — which needs only the *floors* inside the
+        # depth loop.  Credit arithmetic moves to one vectorized pass per
+        # slot over all edges, bit-identical to the per-level original.
+        capb = cap + self.burst_cap
+        recv2 = recv.reshape(K, num)
+        tail = recv2[:, 1:]  # rows align with the flat edge index
+        gained = np.empty_like(credit)
+        floor = np.empty(credit.shape, dtype=np.int64)
+        old = np.empty((K, num - 1), dtype=np.int64)
+        moved = np.empty(credit.shape, dtype=np.int64)
+        moved2 = moved.reshape(K, num - 1)
+        any_dead = not alive.all()  # kills only land between run() calls
         for _ in range(num_slots):
             self.injected += self.inj
             recv[self._src_idx] = self.injected.astype(np.int64)
-            # Within a slot, levels run parents-first, so a packet can
-            # traverse the whole tree in one slot if credit allows (the
-            # reference's random edge order achieves the same pipeline
-            # rate in expectation).
+            np.add(credit, cap, out=gained)
+            np.minimum(gained, capb, out=gained)
+            # C-cast truncation == floor: gained is always >= 0.
+            np.copyto(floor, gained, casting="unsafe")
+            if any_dead:
+                floor[~alive] = 0
+            np.copyto(old, tail)
+            # Levels run parents-first, so a packet can traverse the
+            # whole tree in one slot if credit allows (the reference's
+            # random edge order achieves the same pipeline rate in
+            # expectation).
             for child, parent, edge in self._levels:
-                live = alive[edge]
-                gained = np.minimum(credit[edge] + cap[edge], burst + cap[edge])
-                moved = np.minimum(
-                    gained.astype(np.int64),
-                    np.maximum(recv[parent] - recv[child], 0),
-                )
-                moved = np.where(live, moved, 0)
-                recv[child] += moved
-                credit[edge] = np.where(live, gained - moved, credit[edge])
+                t = recv[child] + floor[edge]
+                np.minimum(t, recv[parent], out=t)
+                recv[child] = t
+            np.subtract(tail, old, out=moved2)
+            if any_dead:
+                np.copyto(credit, gained - moved, where=alive)
+            else:
+                np.subtract(gained, moved, out=credit, casting="unsafe")
 
     def kill(self, node: int) -> None:
         num = self.num
@@ -180,10 +293,14 @@ class _TreeShard:
         }
 
     def load(self, payload: dict) -> None:
-        self.injected = payload["injected"]
-        self.recv = payload["recv"]
-        self.credit = payload["credit"]
-        self.alive = payload["alive"]
+        # Copy *into* the existing arrays instead of adopting the
+        # payload: under worker_mode="process" they are shared-memory
+        # views the forked workers already hold — rebinding here would
+        # silently detach the parent from its own pool.
+        np.copyto(self.injected, payload["injected"])
+        np.copyto(self.recv, payload["recv"])
+        np.copyto(self.credit, payload["credit"])
+        np.copyto(self.alive, payload["alive"])
 
 
 @register_backend
@@ -217,9 +334,51 @@ class ShardedBackend(SimBackend):
         ]
         self.workers = workers
         self.dead: set[int] = set()
+        self.worker_mode = config.worker_mode or "thread"
+        self._token: str | None = None
+        self._box: dict = {"executor": None}
+        if (
+            self.worker_mode == "process"
+            and workers > 1
+            and len(self.shards) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            shms: list = []
+            for shard in self.shards:
+                shms.extend(shard.to_shared())
+            token = uuid.uuid4().hex
+            _PROCESS_SHARDS[token] = self.shards
+            self._token = token
+            self._finalizer = weakref.finalize(
+                self, _release_process_state, token, shms, self._box
+            )
+        elif self.worker_mode == "process":
+            # Single shard / single worker / no fork: nothing to gain
+            # from (or no way to run) a process pool — degrade to the
+            # in-thread path, results are bit-identical anyway.
+            self.worker_mode = "thread"
 
     def run(self, start_slot: int, num_slots: int) -> None:
-        if self.workers > 1 and len(self.shards) > 1:
+        if self._token is not None:
+            # Lazy pool: forking *after* the shard registry and shared
+            # state exist is what lets children inherit everything.
+            pool = self._box["executor"]
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(self.shards)),
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+                self._box["executor"] = pool
+            list(
+                pool.map(
+                    _run_process_shard,
+                    [
+                        (self._token, i, num_slots)
+                        for i in range(len(self.shards))
+                    ],
+                )
+            )
+        elif self.workers > 1 and len(self.shards) > 1:
             # A scoped pool per run(): spawn cost is negligible next to
             # a chunk of slots, and nothing leaks across engine
             # lifetimes (rebuild-heavy sweeps create many backends).

@@ -59,6 +59,11 @@ class SimConfig:
     packets_per_unit: float = 1.0
     burst_cap: float = 4.0
     workers: Optional[int] = None
+    #: How worker-capable backends parallelize: ``"thread"`` (default) or
+    #: ``"process"`` (fork workers over ``multiprocessing.shared_memory``
+    #: — sidesteps the GIL for CPU-bound numpy shards; results are
+    #: bit-identical either way).
+    worker_mode: Optional[str] = None
 
     @property
     def num(self) -> int:
@@ -137,6 +142,7 @@ class PacketSimEngine:
         failures: Optional[dict[int, int]] = None,
         backend: str = "reference",
         workers: Optional[int] = None,
+        worker_mode: Optional[str] = None,
     ) -> None:
         if scheme.num_nodes != instance.num_nodes:
             raise ValueError("scheme/instance node count mismatch")
@@ -144,6 +150,11 @@ class PacketSimEngine:
             raise ValueError("rate must be non-negative")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if worker_mode not in (None, "thread", "process"):
+            raise ValueError(
+                f"worker_mode must be None, 'thread' or 'process', "
+                f"got {worker_mode!r}"
+            )
         self.instance = instance
         self.config = SimConfig(
             scheme=scheme,
@@ -151,6 +162,7 @@ class PacketSimEngine:
             packets_per_unit=packets_per_unit,
             burst_cap=burst_cap,
             workers=workers,
+            worker_mode=worker_mode,
         )
         rng = rng if rng is not None else random.Random(seed)
         if backend == "auto":
@@ -161,7 +173,9 @@ class PacketSimEngine:
                 # serial reference loop, so drop the worker request
                 # instead of rejecting it.
                 self._backend = make_backend(
-                    "reference", replace(self.config, workers=None), rng
+                    "reference",
+                    replace(self.config, workers=None, worker_mode=None),
+                    rng,
                 )
         else:
             self._backend = make_backend(backend, self.config, rng)

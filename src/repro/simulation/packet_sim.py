@@ -50,6 +50,7 @@ def simulate_packet_broadcast(
     failures: Optional[dict[int, int]] = None,
     backend: str = "reference",
     workers: Optional[int] = None,
+    worker_mode: Optional[str] = None,
 ) -> PacketSimResult:
     """Run the randomized useful-packet broadcast on an overlay.
 
@@ -89,6 +90,7 @@ def simulate_packet_broadcast(
         failures=failures,
         backend=backend,
         workers=workers,
+        worker_mode=worker_mode,
     )
     warmup = int(slots * warmup_fraction)
     engine.step(warmup)

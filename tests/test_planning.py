@@ -163,7 +163,7 @@ class TestPackingState:
 
 class TestPlannerRegistry:
     def test_registry_contents(self):
-        assert planner_names() == ["full", "incremental"]
+        assert planner_names() == ["collapsed", "full", "incremental"]
         assert PLANNERS["full"] is FullRebuildPlanner
         assert PLANNERS["incremental"] is IncrementalRepairPlanner
 

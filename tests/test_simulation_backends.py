@@ -22,7 +22,7 @@ from repro import (
 )
 from repro.core.exceptions import DecompositionError
 
-BACKENDS = ("reference", "vectorized", "sharded")
+BACKENDS = ("reference", "vectorized", "sharded", "bitset")
 
 
 def _fig1():
@@ -55,7 +55,7 @@ ACYCLIC_FIXTURES = {
 
 class TestBackendEquivalence:
     @pytest.mark.parametrize("fixture", sorted(ACYCLIC_FIXTURES))
-    @pytest.mark.parametrize("backend", ("vectorized", "sharded"))
+    @pytest.mark.parametrize("backend", ("vectorized", "sharded", "bitset"))
     def test_per_node_goodput_matches_reference(self, fixture, backend):
         inst, scheme, rate = ACYCLIC_FIXTURES[fixture]()
         kwargs = dict(slots=400, seed=0, packets_per_unit=2.0 / max(rate, 1))
@@ -259,6 +259,88 @@ class TestFailureSchedule:
         goodput = sim.step(100).window_goodput()
         # Downstream of node 1 only its residual pipeline lag drains.
         assert goodput[3] < 0.1 * rate
+
+
+class TestBitsetBackend:
+    """Bitset-specific properties beyond the shared backend contract."""
+
+    def test_seed_never_changes_results(self):
+        """The packed-word transfer has no RNG: any two seeds replay the
+        same trajectory bit for bit."""
+        inst, scheme, rate = _random_acyclic(size=30, seed=8)
+        a = simulate_packet_broadcast(
+            inst, scheme, rate, slots=150, seed=0, backend="bitset"
+        )
+        b = simulate_packet_broadcast(
+            inst, scheme, rate, slots=150, seed=12345, backend="bitset"
+        )
+        assert a.received == b.received
+        assert a.goodput == b.goodput
+
+    def test_exact_sharded_agreement_on_single_tree(self):
+        """On a chain (one arborescence, no substream split) the sharded
+        integer pipeline and the bitset prefix transfer are the same
+        process: cumulative deliveries agree exactly, slot by slot."""
+        inst, scheme, rate = _chain()
+        kwargs = dict(packets_per_unit=4.0, seed=0)
+        bit = PacketSimEngine(inst, scheme, rate, backend="bitset", **kwargs)
+        shd = PacketSimEngine(inst, scheme, rate, backend="sharded", **kwargs)
+        for _ in range(6):
+            bit.step(25)
+            shd.step(25)
+            assert bit.delivered() == shd.delivered()
+            assert bit.received() == shd.received()
+
+    def test_received_is_monotone_and_bounded(self):
+        inst, scheme, rate = _fig1()
+        sim = PacketSimEngine(
+            inst, scheme, rate, packets_per_unit=2.0, backend="bitset"
+        )
+        prev = sim.received()
+        for _ in range(4):
+            cur = sim.step(30).received()
+            assert cur[0] == 0  # the source originates, never receives
+            assert all(c >= p for c, p in zip(cur, prev))
+            prev = cur
+
+
+class TestShardedWorkerModes:
+    """worker_mode plumbing: thread pools and forked process pools over
+    shared memory must reproduce the serial shard results bit for bit."""
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_worker_mode_never_changes_results(self, mode):
+        inst, scheme, rate = _random_acyclic(size=30, seed=4)
+        serial = simulate_packet_broadcast(
+            inst, scheme, rate, slots=150, seed=0, backend="sharded"
+        )
+        pooled = simulate_packet_broadcast(
+            inst, scheme, rate, slots=150, seed=0,
+            backend="sharded", workers=2, worker_mode=mode,
+        )
+        assert serial.received == pooled.received
+        assert serial.goodput == pooled.goodput
+
+    def test_process_mode_survives_stepping_and_failures(self):
+        inst, scheme, rate = _random_acyclic(size=30, seed=4)
+        kwargs = dict(packets_per_unit=2.0, seed=2)
+        pooled = PacketSimEngine(
+            inst, scheme, rate, backend="sharded", workers=2,
+            worker_mode="process", **kwargs,
+        )
+        serial = PacketSimEngine(inst, scheme, rate, backend="sharded", **kwargs)
+        for sim in (pooled, serial):
+            sim.step(40)
+            sim.fail_node(3)
+            sim.step(40)
+        assert pooled.delivered() == serial.delivered()
+
+    def test_bad_worker_mode_rejected(self):
+        inst, scheme, rate = _fig1()
+        with pytest.raises(ValueError, match="worker_mode"):
+            PacketSimEngine(
+                inst, scheme, rate, backend="sharded", worker_mode="mpi"
+            )
 
 
 class TestShardedWorkers:
