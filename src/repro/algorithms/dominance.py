@@ -26,6 +26,7 @@ min-in-rate characterization) the throughput.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..core.exceptions import InvalidSchemeError, ReproError
@@ -171,7 +172,7 @@ def is_conservative(
             gi = order[i]
             if instance.is_open(gi):
                 continue
-            spent = sum(
+            spent = math.fsum(
                 scheme.rate(gi, order[l]) for l in range(i + 1, k + 1)
             )
             if spent < instance.bandwidth(gi) - eps:
@@ -209,7 +210,7 @@ def make_conservative(
             return current
         i, j, k = violation
         gi, oj, rk = order[i], order[j], order[k]
-        spent_prefix = sum(
+        spent_prefix = math.fsum(
             current.rate(gi, order[l]) for l in range(i + 1, k + 1)
         )
         spare = instance.bandwidth(gi) - spent_prefix
@@ -263,7 +264,7 @@ def _find_violation(
             gi = order[i]
             if instance.is_open(gi):
                 continue
-            spent = sum(
+            spent = math.fsum(
                 scheme.rate(gi, order[l]) for l in range(i + 1, k + 1)
             )
             if spent < instance.bandwidth(gi) - eps:

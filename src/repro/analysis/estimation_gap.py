@@ -157,8 +157,8 @@ def estimation_gap_experiment(
                     probes_per_node=budget,
                     noise_sigma=sigma,
                     oracle_rate=oracle,
-                    planned_rate=sum(planned) / len(planned),
-                    achieved_rate=sum(achieved) / len(achieved),
+                    planned_rate=math.fsum(planned) / len(planned),
+                    achieved_rate=math.fsum(achieved) / len(achieved),
                     gap=sum(gaps) / len(gaps),
                     median_rel_error=(
                         sum(errors) / len(errors) if errors else float("inf")

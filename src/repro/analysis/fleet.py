@@ -22,6 +22,8 @@ uncontended ideal).
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -137,11 +139,11 @@ class FleetFlowReport:
 
     @property
     def aggregate_rate(self) -> float:
-        return sum(s.achieved_rate for s in self.sessions)
+        return math.fsum(s.achieved_rate for s in self.sessions)
 
     @property
     def bound_sum(self) -> float:
-        return sum(s.solo_bound for s in self.sessions)
+        return math.fsum(s.solo_bound for s in self.sessions)
 
     @property
     def fairness(self) -> float:

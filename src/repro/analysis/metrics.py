@@ -10,6 +10,7 @@ lives in :mod:`repro.analysis.depth` and is evaluated with these metrics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -86,7 +87,7 @@ def scheme_stats(
         for i in range(instance.num_nodes):
             bound = safe_ceil_div(instance.bandwidth(i), t)
             excess = max(excess, degrees[i] - bound)
-    total_rate = sum(rate for _, _, rate in scheme.edges())
+    total_rate = math.fsum(rate for _, _, rate in scheme.edges())
     total_bw = instance.total_bw
     if scheme.is_acyclic():
         depths = [d for d in scheme_depths(scheme) if d >= 0]

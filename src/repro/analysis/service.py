@@ -87,9 +87,9 @@ def _preemption_disruption(records: List[dict]) -> float:
             stood = 0.0
             for name, before in prev.items():
                 after = grants.get(name, {})
-                for node in set(before) | set(after):
+                for node in sorted(set(before) | set(after)):
                     moved += abs(after.get(node, 0.0) - before.get(node, 0.0))
-                stood += sum(before.values())
+                stood += math.fsum(before.values())
             if stood > 0:
                 ratios.append(moved / stood)
         prev = grants
@@ -141,8 +141,8 @@ def migration_fork_check(
     # so this is the in-flight damage between a member leaving and the
     # plane's repaired plan landing — a starved child of a departed
     # relay legitimately drags it below 1.
-    control = sum(report.goodputs["control"][k] for k in stayed) / len(stayed)
-    departed = sum(report.goodputs["departed"][k] for k in stayed) / len(stayed)
+    control = math.fsum(report.goodputs["control"][k] for k in stayed) / len(stayed)
+    departed = math.fsum(report.goodputs["departed"][k] for k in stayed) / len(stayed)
     return departed / control if control > 0 else math.nan
 
 

@@ -14,6 +14,7 @@ Usage::
     python -m repro runtime --estimation online --probes-per-node 4
     python -m repro serve --trace roaming --ledger /tmp/plane.jsonl
     python -m repro request --ledger /tmp/plane.jsonl --op query
+    python -m repro lint src tests benchmarks --format json
 
 ``--full`` switches the sweeps to paper scale (equivalent to
 ``REPRO_FULL=1``).  ``solve`` runs the whole pipeline on an ad-hoc
@@ -29,6 +30,7 @@ its reservation ledger.
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import Optional, Sequence
@@ -303,6 +305,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--list", action="store_true", dest="list_names",
                        help="list registered scenarios, traces, brokers, "
                             "admission policies and planning modes")
+
+    # The rule list below is read from the live RULES registry at parser
+    # build time, matching the CONTROLLERS/PLANNERS/BROKERS convention:
+    # a plugin rule shows up in --help and --list immediately.
+    from .devtools import rule_names
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & concurrency static analysis (repro.devtools)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src tests benchmarks)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"], dest="lint_format",
+                      help="'text' prints compiler-style findings, "
+                           "'json' emits the stable repro-lint/1 "
+                           "document (the CI artifact)")
+    lint.add_argument("--select", nargs="*", default=None, metavar="REPxxx",
+                      help="run only these rule codes, one or more of: "
+                           f"{', '.join(rule_names())}")
+    lint.add_argument("--list", action="store_true", dest="list_names",
+                      help="list registered rules with scope and the "
+                           "replay guarantee each protects")
 
     request = sub.add_parser(
         "request",
@@ -1160,7 +1186,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             [
                 [
                     name, entry.status, len(entry.spec.members),
-                    f"{sum(entry.grants.values()):.2f}",
+                    f"{math.fsum(entry.grants.values()):.2f}",
                     f"{entry.bound:.2f}", f"{entry.spec.priority:g}",
                     entry.builds, entry.repairs,
                 ]
@@ -1188,6 +1214,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"replay verified bit-identical"
         )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools import (
+        DEFAULT_PATHS,
+        RULES,
+        render_json,
+        render_text,
+        rule_names,
+        run_lint,
+    )
+
+    if args.list_names:
+        print("rules     :", ", ".join(rule_names()))
+        for code in rule_names():
+            cls = RULES[code]
+            scope = (
+                ", ".join(cls.include) if cls.include else "all linted paths"
+            )
+            print(f"  {code} {cls.name}: {cls.summary}")
+            print(f"    protects: {cls.guarantee}")
+            print(f"    scope   : {scope}")
+        return 0
+
+    try:
+        report = run_lint(args.paths or DEFAULT_PATHS, select=args.select)
+    except (FileNotFoundError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.lint_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
@@ -1288,6 +1349,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sessions(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "request":
         return _cmd_request(args)
     return dispatch[args.command]()

@@ -17,6 +17,7 @@ Rates within :data:`~repro.core.numerics.ABS_TOL` of zero are treated as
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, Optional, Sequence
 
 import numpy as np
@@ -136,11 +137,11 @@ class BroadcastScheme:
 
     def out_rate(self, i: int) -> float:
         """Total outgoing rate ``sum_j c_ij`` of node ``i``."""
-        return sum(self._out[i].values())
+        return math.fsum(self._out[i].values())
 
     def in_rate(self, j: int) -> float:
         """Total incoming rate ``sum_i c_ij`` of node ``j``."""
-        return sum(row.get(j, 0.0) for row in self._out)
+        return math.fsum(row.get(j, 0.0) for row in self._out)
 
     def in_rates(self) -> list[float]:
         """All incoming rates in one O(E) pass."""

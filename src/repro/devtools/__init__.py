@@ -1,0 +1,73 @@
+"""repro.devtools — determinism & concurrency static analysis.
+
+An AST-based, repo-specific lint pass that enforces the unwritten
+disciplines every replay guarantee in this reproduction rests on:
+seeded counter-based RNG only, ``math.fsum`` for rate aggregation,
+``sorted()`` before ordered consumption of sets, module-level picklable
+registry entries, finalized ``SharedMemory``, no hidden worker-pool
+state, and narrow ``except`` clauses in ledger/recovery paths.
+
+Usage::
+
+    repro lint                           # src + tests + benchmarks
+    repro lint src/repro --format json   # machine report (CI artifact)
+    repro lint --list                    # the live rule registry
+
+or programmatically::
+
+    from repro.devtools import run_lint, lint_source
+    report = run_lint(["src"])
+    assert report.clean
+
+Rules live in :data:`RULES` (the same pluggable name-keyed registry
+convention as CONTROLLERS / PLANNERS / BROKERS / BACKENDS); deliberate
+exceptions are waived per line with ``# repro: noqa REPxxx -- why`` and
+stale waivers are themselves findings (REP000).
+"""
+
+from .base import (
+    Finding,
+    LintContext,
+    RULES,
+    Rule,
+    make_rule,
+    module_path_of,
+    register_rule,
+    rule_names,
+)
+from .reporting import SCHEMA, render_json, render_text, report_payload
+from .runner import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+    lint_source,
+    run_lint,
+)
+from .suppressions import Suppression, SuppressionIndex, UNSUPPRESSABLE
+
+# Importing the rules module is what populates RULES — same import-time
+# registration pattern as repro.simulation.backends.
+from . import rules as _rules  # noqa: E402,F401
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "SCHEMA",
+    "Suppression",
+    "SuppressionIndex",
+    "UNSUPPRESSABLE",
+    "DEFAULT_PATHS",
+    "iter_python_files",
+    "lint_source",
+    "make_rule",
+    "module_path_of",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "report_payload",
+    "rule_names",
+    "run_lint",
+]

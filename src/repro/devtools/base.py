@@ -1,0 +1,247 @@
+"""Lint framework core: findings, file context, and the rule registry.
+
+The whole reproduction is gated on *bit-identical replay*: serial ==
+thread == process execution, grant-for-grant ledger recovery, collapsed
+== per-node rates pinned to the exact float.  Those guarantees rest on
+coding disciplines (seeded counter-based RNG, ``math.fsum`` rate
+aggregation, sorted iteration before ordered output, module-level
+picklable registry entries, finalized ``SharedMemory``) that nothing in
+the type system checks.  :mod:`repro.devtools` is the enforcement
+layer: an AST pass per file, one :class:`Rule` per discipline, findings
+suppressible line-by-line with a justification
+(``# repro: noqa REPxxx -- why``).
+
+Rules are registered by code in :data:`RULES` — the same name-keyed
+registry convention as ``CONTROLLERS`` / ``PLANNERS`` / ``BROKERS`` /
+``BACKENDS``, so ``repro lint --list`` always reflects the live set and
+a project-local plugin rule shows up without touching the CLI.
+
+Path scoping: each rule declares the *module-path* prefixes it applies
+to (see :meth:`LintContext.module_path`); e.g. the wall-clock rule
+covers deterministic compute packages but deliberately not
+``repro/analysis/`` or ``benchmarks/``, which measure wall time for a
+living.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "rule_names",
+    "make_rule",
+]
+
+
+#: Module-path anchors: the first path component *after* one of these is
+#: where the normalized module path starts (``src/repro/cli.py`` ->
+#: ``repro/cli.py``).  Top-level dirs that *are* the anchor keep it
+#: (``tests/test_cli.py`` -> ``tests/test_cli.py``).
+_SRC_ANCHORS = ("src",)
+_TOP_ANCHORS = ("tests", "benchmarks", "examples", "tools")
+
+
+def module_path_of(path: "str | Path") -> str:
+    """Normalize a file path to its repo-relative module path.
+
+    The result is what rule allowlists match against, so it must be
+    stable whether the linter was invoked with relative paths from the
+    repo root, absolute paths, or paths into an installed tree:
+    ``/root/repo/src/repro/core/runs.py`` and ``src/repro/core/runs.py``
+    both normalize to ``repro/core/runs.py``.
+    """
+    parts = Path(path).as_posix().split("/")
+    for anchor in _SRC_ANCHORS:
+        if anchor in parts[:-1]:
+            idx = len(parts) - 1 - parts[:-1][::-1].index(anchor)
+            return "/".join(parts[idx:])
+    if "repro" in parts[:-1]:
+        idx = parts.index("repro")
+        return "/".join(parts[idx:])
+    for anchor in _TOP_ANCHORS:
+        if anchor in parts[:-1]:
+            idx = parts.index(anchor)
+            return "/".join(parts[idx:])
+    return parts[-1]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class LintContext:
+    """Everything a rule may inspect about one parsed file.
+
+    Parsing and the parent map are shared across rules (built once per
+    file by the runner); rules must treat the tree as read-only.
+    """
+
+    def __init__(self, path: "str | Path", source: str, tree: ast.Module):
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module_path = module_path_of(path)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._imports: Optional[Dict[str, str]] = None
+
+    # -- shared derived views -------------------------------------------------
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child node -> parent node, for upward walks."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """local name -> fully qualified imported name.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        perf_counter as pc`` maps ``pc -> time.perf_counter``.  Star
+        imports are ignored (none exist in this tree, and a rule must
+        never guess).
+        """
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:  # relative: never a stdlib RNG/clock
+                        continue
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+            self._imports = table
+        return self._imports
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain through the import
+        table: ``np.random.rand`` -> ``numpy.random.rand``; returns
+        ``None`` for anything not rooted in an imported module name
+        (so ``self.rng.random`` never resolves, by design)."""
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (empty string when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing function/method definition, if any."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base rule: a code, a scope, and a :meth:`check` generator.
+
+    ``include`` holds module-path prefixes (see :func:`module_path_of`)
+    the rule applies to; ``None`` means every linted file.  ``exclude``
+    prefixes carve exceptions out of ``include`` — the *path allowlist*
+    mechanism (e.g. wall-clock is legal in ``repro/analysis/``).
+    ``guarantee`` names the replay invariant the rule protects; it is
+    surfaced by ``repro lint --list`` and the README rule table so a
+    suppression review can weigh what is being waived.
+    """
+
+    code: str = "REP000"
+    name: str = "base"
+    summary: str = ""
+    guarantee: str = ""
+    include: Optional[Tuple[str, ...]] = None
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, module_path: str) -> bool:
+        if any(module_path.startswith(p) for p in self.exclude):
+            return False
+        if self.include is None:
+            return True
+        return any(module_path.startswith(p) for p in self.include)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing
+
+
+#: code -> rule class.  Filled by :mod:`repro.devtools.rules` at import
+#: time; plugins append with :func:`register_rule`.  Mirrors CONTROLLERS
+#: / PLANNERS / BROKERS / BACKENDS: the CLI renders *this*, never a
+#: hand-maintained list.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to :data:`RULES` keyed by its code."""
+    if not cls.code or not cls.code.startswith("REP"):
+        raise ValueError(f"rule code must look like REPxxx, got {cls.code!r}")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def rule_names() -> List[str]:
+    return sorted(RULES)
+
+
+def make_rule(code: str) -> Rule:
+    """Instantiate a registered rule by code."""
+    try:
+        cls = RULES[code]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {code!r} (known: {known})") from None
+    return cls()

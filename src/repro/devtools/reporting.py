@@ -1,0 +1,84 @@
+"""Reporters: human text and machine JSON (stable schema).
+
+The JSON schema is versioned (``"schema": "repro-lint/1"``) and pinned
+by ``tests/test_devtools.py`` — the CI artifact is consumed by tooling,
+so key layout only changes with a schema bump.  Everything is sorted:
+the report of an unchanged tree is byte-identical run to run, which
+makes the lint artifact diffable across CI runs like the BENCH_*.json
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .base import RULES
+from .runner import LintReport
+
+__all__ = ["SCHEMA", "render_text", "render_json", "report_payload"]
+
+SCHEMA = "repro-lint/1"
+
+
+def render_text(report: LintReport) -> str:
+    """Compiler-style ``path:line:col: CODE message`` lines + summary."""
+    lines: List[str] = [f.format() for f in report.findings]
+    lines.append(
+        f"{len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'} "
+        f"({report.files_scanned} files scanned, "
+        f"{report.suppressions_used} suppression"
+        f"{'' if report.suppressions_used == 1 else 's'} honored)"
+    )
+    return "\n".join(lines)
+
+
+def report_payload(report: LintReport) -> Dict[str, Any]:
+    """The JSON document as a plain dict (schema ``repro-lint/1``)."""
+    return {
+        "schema": SCHEMA,
+        "files_scanned": report.files_scanned,
+        "selected_rules": list(report.selected),
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "suppressions": {
+            "used": report.suppressions_used,
+            "unused": report.suppressions_unused,
+            "sites": [
+                {
+                    "path": path,
+                    "line": s.line,
+                    "codes": list(s.codes),
+                    "reason": s.reason,
+                    "used": sorted(s.used),
+                }
+                for path, s in sorted(
+                    report.suppressions, key=lambda ps: (ps[0], ps[1].line)
+                )
+            ],
+        },
+        "rules": [
+            {
+                "code": code,
+                "name": cls.name,
+                "summary": cls.summary,
+                "guarantee": cls.guarantee,
+                "include": list(cls.include) if cls.include else None,
+                "exclude": list(cls.exclude),
+            }
+            for code, cls in sorted(RULES.items())
+        ],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)

@@ -1,0 +1,162 @@
+"""Walk files, run every applicable rule, apply suppressions.
+
+The runner owns the parts that are per-run rather than per-rule: file
+discovery, parsing (one AST shared by all rules), the suppression
+lifecycle (waive findings, then surface stale waivers as ``REP000``),
+and parse failures (also ``REP000`` — a file the linter cannot read is
+a finding, not a skip).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .base import Finding, LintContext, RULES, Rule, make_rule, rule_names
+from .suppressions import Suppression, SuppressionIndex
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "LintReport",
+    "iter_python_files",
+    "lint_source",
+    "run_lint",
+]
+
+#: What ``repro lint`` covers when invoked bare (from the repo root).
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned, reporter-agnostic."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: (path, suppression) for every parsed waiver, used or not
+    suppressions: List[Tuple[str, Suppression]] = field(default_factory=list)
+    #: rule codes that ran (post ``--select``)
+    selected: Tuple[str, ...] = ()
+
+    @property
+    def suppressions_used(self) -> int:
+        return sum(len(s.used) for _, s in self.suppressions)
+
+    @property
+    def suppressions_unused(self) -> int:
+        return sum(len(s.unused_codes) for _, s in self.suppressions)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted traversal keeps report order (and the JSON artifact) stable
+    across filesystems — the lint report is itself a deterministic
+    output.
+    """
+    out: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+                and not any(part.startswith(".") for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(dict.fromkeys(out))
+
+
+def _resolve_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return [make_rule(code) for code in rule_names()]
+    rules = []
+    for code in select:
+        rules.append(make_rule(code))  # raises KeyError on unknown codes
+    return rules
+
+
+def _lint_one(
+    path: "str | Path",
+    source: str,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], List[Tuple[str, Suppression]]]:
+    suppressions = SuppressionIndex(source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1 if exc.offset else 1,
+            code="REP000",
+            message=f"could not parse file: {exc.msg}",
+        )
+        return [finding], [(str(path), s) for s in suppressions.all()]
+    ctx = LintContext(path, source, tree)
+    kept: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.module_path):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.suppresses(finding.line, finding.code):
+                kept.append(finding)
+    for line, code, supp in suppressions.unused():
+        kept.append(
+            Finding(
+                path=str(path),
+                line=line,
+                col=1,
+                code="REP000",
+                message=(
+                    f"unused suppression {code} — no {code} finding on "
+                    f"this line; delete the stale waiver"
+                ),
+            )
+        )
+    return kept, [(str(path), s) for s in suppressions.all()]
+
+
+def lint_source(
+    source: str,
+    module_path: str = "repro/snippet.py",
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory snippet — the fixture-test entry point.
+
+    ``module_path`` is what rule allowlists match against, so a test
+    can probe path scoping directly (``"benchmarks/x.py"`` silences the
+    wall-clock rule, ``"repro/core/x.py"`` arms it).
+    """
+    findings, _ = _lint_one(module_path, source, _resolve_rules(select))
+    return sorted(findings)
+
+
+def run_lint(
+    paths: Optional[Iterable["str | Path"]] = None,
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories and return the aggregate report."""
+    rules = _resolve_rules(select)
+    report = LintReport(
+        selected=tuple(sorted(r.code for r in rules)),
+    )
+    for path in iter_python_files(paths or DEFAULT_PATHS):
+        source = path.read_text(encoding="utf-8")
+        findings, supps = _lint_one(path, source, rules)
+        report.findings.extend(findings)
+        report.suppressions.extend(supps)
+        report.files_scanned += 1
+    report.findings.sort()
+    return report

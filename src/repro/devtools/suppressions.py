@@ -1,0 +1,111 @@
+"""Per-line lint suppressions: ``# repro: noqa REPxxx -- justification``.
+
+A suppression waives specific rule codes on its own physical line (the
+line a finding anchors to — a multi-line statement is suppressed at the
+statement's first line, where the finding lands).  The syntax is
+deliberately narrow:
+
+* codes are mandatory — there is no blanket ``# repro: noqa`` that
+  swallows everything, because every waiver of a replay guarantee must
+  say *which* guarantee it waives;
+* a justification after ``--`` is conventional (the tree-wide sweep
+  writes one at every site) though not enforced by the parser;
+* an unused suppression is itself a finding (``REP000``), so stale
+  waivers rot out of the tree instead of silently disarming rules that
+  later start matching again.  ``REP000`` cannot be suppressed.
+
+Examples::
+
+    started = time.perf_counter()  # repro: noqa REP002 -- profiling only
+    items = set(xs)  # repro: noqa REP003, REP004 -- feeds a set, unordered
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["Suppression", "SuppressionIndex", "UNSUPPRESSABLE"]
+
+#: Codes that may never be waived: the unused-suppression meta-finding
+#: (waiving it would make stale waivers self-sustaining) and parse
+#: failures (an unparsable file cannot be reasoned about at all).
+UNSUPPRESSABLE = frozenset({"REP000"})
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\s+"
+    r"(?P<codes>REP\d{3}(?:\s*,\s*REP\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    #: codes that actually matched a finding during the run
+    used: Set[str] = field(default_factory=set)
+
+    @property
+    def unused_codes(self) -> Tuple[str, ...]:
+        return tuple(c for c in self.codes if c not in self.used)
+
+
+class SuppressionIndex:
+    """All suppressions of one file, queried by (line, code)."""
+
+    def __init__(self, source: str):
+        self.by_line: Dict[int, Suppression] = {}
+        # Only real COMMENT tokens count: a noqa example quoted inside a
+        # docstring (this module has several) must not register a
+        # waiver.  Tokenization failure falls back to no suppressions —
+        # the file will surface a parse finding anyway.
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if match is None:
+                continue
+            lineno = tok.start[0]
+            codes = tuple(
+                c.strip() for c in match.group("codes").split(",")
+            )
+            self.by_line[lineno] = Suppression(
+                line=lineno,
+                codes=codes,
+                reason=(match.group("reason") or "").strip(),
+            )
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """True (and mark the waiver used) if ``code`` is waived on
+        ``line``."""
+        if code in UNSUPPRESSABLE:
+            return False
+        supp = self.by_line.get(line)
+        if supp is None or code not in supp.codes:
+            return False
+        supp.used.add(code)
+        return True
+
+    def unused(self) -> Iterable[Tuple[int, str, Suppression]]:
+        """Yield ``(line, code, suppression)`` for every waiver that no
+        finding consumed — each becomes a ``REP000`` finding."""
+        for lineno in sorted(self.by_line):
+            supp = self.by_line[lineno]
+            for code in supp.unused_codes:
+                yield lineno, code, supp
+
+    def all(self) -> List[Suppression]:
+        return [self.by_line[k] for k in sorted(self.by_line)]

@@ -97,13 +97,35 @@ def lognormal_bandwidths(
     return rng.lognormal(mu, sigma, size=size)
 
 
+# Module-level samplers so DISTRIBUTIONS entries pickle into pool job
+# specs and resolve by name inside spawned workers (REP005).
+def _sample_unif100(rng: np.random.Generator, size: int) -> np.ndarray:
+    return uniform_bandwidths(rng, size)
+
+
+def _sample_power1(rng: np.random.Generator, size: int) -> np.ndarray:
+    return pareto_bandwidths(rng, size, 100.0, 100.0)
+
+
+def _sample_power2(rng: np.random.Generator, size: int) -> np.ndarray:
+    return pareto_bandwidths(rng, size, 100.0, 1000.0)
+
+
+def _sample_ln1(rng: np.random.Generator, size: int) -> np.ndarray:
+    return lognormal_bandwidths(rng, size, 100.0, 100.0)
+
+
+def _sample_ln2(rng: np.random.Generator, size: int) -> np.ndarray:
+    return lognormal_bandwidths(rng, size, 100.0, 1000.0)
+
+
 #: The six named distributions of Figure 19 (name -> sampler(rng, size)).
 DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
-    "Unif100": lambda rng, size: uniform_bandwidths(rng, size),
-    "Power1": lambda rng, size: pareto_bandwidths(rng, size, 100.0, 100.0),
-    "Power2": lambda rng, size: pareto_bandwidths(rng, size, 100.0, 1000.0),
-    "LN1": lambda rng, size: lognormal_bandwidths(rng, size, 100.0, 100.0),
-    "LN2": lambda rng, size: lognormal_bandwidths(rng, size, 100.0, 1000.0),
+    "Unif100": _sample_unif100,
+    "Power1": _sample_power1,
+    "Power2": _sample_power2,
+    "LN1": _sample_ln1,
+    "LN2": _sample_ln2,
     "PLab": sample_planetlab,
 }
 

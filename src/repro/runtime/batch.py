@@ -291,7 +291,7 @@ def _run_fleet_job(job: BatchJob, started: float) -> RunSummary:
         **dict(job.engine_kwargs),
     ).run(mode="serial")
     summary = RunSummary.from_fleet(
-        job, result, wall_time=time.perf_counter() - started
+        job, result, wall_time=time.perf_counter() - started  # repro: noqa REP002 -- wall_time telemetry in RunSummary; never feeds replayed decisions
     )
     hits1, misses1 = cache.stats()
     # Per-session RunResults read the *cumulative* shared counters;
@@ -303,7 +303,7 @@ def _run_fleet_job(job: BatchJob, started: float) -> RunSummary:
 
 def run_job(job: BatchJob) -> RunSummary:
     """Execute one job start to finish (top-level: picklable for pools)."""
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa REP002 -- wall_time telemetry in RunSummary; never feeds replayed decisions
     if job.fleet_kwargs:
         return _run_fleet_job(job, started)
     cache = _worker_cache()
@@ -328,7 +328,7 @@ def run_job(job: BatchJob) -> RunSummary:
     summary = RunSummary.from_result(
         job,
         result,
-        wall_time=time.perf_counter() - started,
+        wall_time=time.perf_counter() - started,  # repro: noqa REP002 -- wall_time telemetry in RunSummary; never feeds replayed decisions
         final_alive=run.platform.num_alive,
     )
     hits1, misses1 = cache.stats()

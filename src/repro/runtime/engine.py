@@ -519,10 +519,10 @@ class RuntimeEngine:
     def build_plan(self) -> Plan:
         """Fully optimize the current alive swarm into a fresh :class:`Plan`."""
         planner = self._ensure_planner()
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         plan = planner.build(self)
         outcome = PlanOutcome(
-            plan, op="build", seconds=time.perf_counter() - started
+            plan, op="build", seconds=time.perf_counter() - started  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         )
         self._pending[id(plan)] = outcome
         return plan
@@ -544,9 +544,9 @@ class RuntimeEngine:
         planner = self._ensure_planner()
         if self._view is not None:
             events = tuple(self._view.observe_event(ev) for ev in events)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         outcome = planner.replan(self, self.active_plan, tuple(events))
-        outcome.seconds = time.perf_counter() - started
+        outcome.seconds = time.perf_counter() - started  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         self._pending[id(outcome.plan)] = outcome
         return outcome.plan
 
@@ -584,14 +584,14 @@ class RuntimeEngine:
         }
         self.phase_seconds = phases
 
-        tick = time.perf_counter()
+        tick = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         initial = self.queue.pop_until(0)
         initial = [self._apply_event(ev) for ev in initial]
         self._observe(tuple(initial))
-        phases["epoch_boundary"] += time.perf_counter() - tick
-        tick = time.perf_counter()
+        phases["epoch_boundary"] += time.perf_counter() - tick  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
+        tick = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         plan = controller.start(self)
-        decided = time.perf_counter() - tick
+        decided = time.perf_counter() - tick  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
         outcome = self._consume_outcome(plan)
         self.active_plan = plan
         rebuilds += 1  # the initial build counts as one optimization
@@ -603,19 +603,19 @@ class RuntimeEngine:
         fired: tuple[Event, ...] = tuple(initial)
         while self.now < self.horizon:
             end = self._epoch_end(controller)
-            tick = time.perf_counter()
+            tick = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
             report = self._simulate_epoch(
                 plan, self.now, end, fired,
                 rebuilt=(self.now == plan.built_at),
                 plan_op=plan_op if self.now == plan.built_at else "keep",
                 plan_seconds=op_seconds if self.now == plan.built_at else 0.0,
             )
-            phases["simulate"] += time.perf_counter() - tick
+            phases["simulate"] += time.perf_counter() - tick  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
             epochs.append(report)
             self.now = end
             if self.now >= self.horizon:
                 break
-            tick = time.perf_counter()
+            tick = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
             popped = self.queue.pop_until(self.now)
             applied = []
             for ev in popped:
@@ -625,10 +625,10 @@ class RuntimeEngine:
                     pending_departures.append(ev.time)
             fired = tuple(applied)
             self._observe(fired)
-            phases["epoch_boundary"] += time.perf_counter() - tick
-            tick = time.perf_counter()
+            phases["epoch_boundary"] += time.perf_counter() - tick  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
+            tick = time.perf_counter()  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
             new_plan = controller.on_change(self, fired)
-            decided = time.perf_counter() - tick
+            decided = time.perf_counter() - tick  # repro: noqa REP002 -- plan/phase timing telemetry (compare=False); not replayed
             if new_plan is not None:
                 plan = new_plan
                 outcome = self._consume_outcome(plan)
@@ -757,7 +757,7 @@ class RuntimeEngine:
                     burst_cap=self._sim.burst_cap,
                     warmup_fraction=self._sim.warmup_fraction,
                     seed=sim_seed,
-                    failures={k: 0 for k in failed},
+                    failures={k: 0 for k in sorted(failed)},
                     backend=self.sim_backend,
                     workers=self.sim_workers,
                     worker_mode=self.sim_worker_mode,
@@ -775,7 +775,7 @@ class RuntimeEngine:
             planned_rate=plan.rate,
             optimal_rate=optimal_rate,
             min_goodput=min(values),
-            mean_goodput=sum(values) / len(values),
+            mean_goodput=math.fsum(values) / len(values),
             starved=sum(1 for v in values if v < 0.5 * plan.rate),
             unserved=sum(1 for i in alive if i not in planned_members),
             rebuilt=rebuilt,
@@ -819,7 +819,7 @@ class RuntimeEngine:
                 packets_per_unit=ppu,
                 burst_cap=self._sim.burst_cap,
                 seed=sim_seed,
-                failures={k: 0 for k in failed},
+                failures={k: 0 for k in sorted(failed)},
                 backend=self.sim_backend,
                 workers=self.sim_workers,
                 worker_mode=self.sim_worker_mode,
@@ -829,7 +829,7 @@ class RuntimeEngine:
             self._warm_failed = set(failed)
             warmup = int(slots * self._sim.warmup_fraction)
         else:
-            for k in failed - self._warm_failed:
+            for k in sorted(failed - self._warm_failed):
                 sim.fail_node(k)
             self._warm_failed |= failed
         sim.step(warmup)

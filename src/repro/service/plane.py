@@ -439,7 +439,7 @@ class ControlPlane:
         requests = tuple(requests)
         if not requests:
             raise ValueError("empty request batch")
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa REP002 -- latency/plan-op stats; decisions replay from the ledger, not wall time
         self.seq += 1
         responses = [self._apply_control(req) for req in requests]
         mutated = any(
@@ -466,7 +466,7 @@ class ControlPlane:
                         seq=self.seq,
                         state=resp.state,
                     )
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro: noqa REP002 -- latency/plan-op stats; decisions replay from the ledger, not wall time
         share = elapsed / len(requests)
         self._busy_seconds += elapsed
         final: List[Response] = []
@@ -663,7 +663,7 @@ class ControlPlane:
             "status": entry.status,
             "priority": entry.spec.priority,
             "members": len(entry.spec.members),
-            "granted_bw": sum(entry.grants.values()),
+            "granted_bw": math.fsum(entry.grants.values()),
             "bound": entry.bound,
             "plan_rate": entry.plan.rate if entry.plan is not None else 0.0,
             "builds": entry.builds,
@@ -748,12 +748,12 @@ class ControlPlane:
 
     def _replan(self, entry: _SessionEntry, events: Tuple[Event, ...]) -> str:
         host = _PlanHost(entry.platform, self.cache, self.seq)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa REP002 -- latency/plan-op stats; decisions replay from the ledger, not wall time
         if entry.plan is None:
             entry.plan = entry.planner.build(host)
             entry.builds += 1
             self.plan_ops.append(
-                (entry.spec.name, "build", time.perf_counter() - started)
+                (entry.spec.name, "build", time.perf_counter() - started)  # repro: noqa REP002 -- latency/plan-op stats; decisions replay from the ledger, not wall time
             )
             return "build"
         outcome = entry.planner.replan(host, entry.plan, events)
@@ -764,7 +764,7 @@ class ControlPlane:
             entry.builds += 1
             entry.fallbacks += int(outcome.fallback)
         self.plan_ops.append(
-            (entry.spec.name, outcome.op, time.perf_counter() - started)
+            (entry.spec.name, outcome.op, time.perf_counter() - started)  # repro: noqa REP002 -- latency/plan-op stats; decisions replay from the ledger, not wall time
         )
         return outcome.op
 

@@ -290,7 +290,7 @@ class WaterfillBroker(CapacityBroker):
                 requests[claim.name] = 0.0
                 continue
             b0 = min(claim.source_bw, claim.demand)
-            open_sum = sum(
+            open_sum = math.fsum(
                 bandwidths[n]
                 for n in claim.members
                 if kinds[n] != NodeKind.GUARDED
@@ -298,7 +298,7 @@ class WaterfillBroker(CapacityBroker):
             guarded = [
                 n for n in claim.members if kinds[n] == NodeKind.GUARDED
             ]
-            total_bw = open_sum + sum(bandwidths[n] for n in guarded)
+            total_bw = open_sum + math.fsum(bandwidths[n] for n in guarded)
             # Smallest uniform member fraction f that keeps both feeding
             # constraints of Lemma 5.1 at the target rate:
             # (b0 + f*(O+G)) / (n+m) >= T  and  (b0 + f*O) / m >= T.

@@ -138,7 +138,7 @@ def session_goodput(result: Optional[RunResult]) -> float:
     slots = sum(e.slots for e in served)
     if slots == 0:
         return 0.0
-    return sum(e.mean_goodput * e.slots for e in served) / slots
+    return math.fsum(e.mean_goodput * e.slots for e in served) / slots
 
 
 @dataclass(frozen=True)
@@ -240,7 +240,7 @@ class FleetResult:
     @property
     def aggregate_goodput(self) -> float:
         """Sum of admitted sessions' mean delivered rates (fleet goodput)."""
-        return sum(s.goodput for s in self.admitted)
+        return math.fsum(s.goodput for s in self.admitted)
 
     @property
     def bound_sum(self) -> float:
@@ -610,7 +610,7 @@ class FleetEngine:
         ``"process"`` — identical results either way, sessions are
         independent trees.
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa REP002 -- wall_time telemetry in fleet result; not replayed
         jobs = self.prepare()
         if mode == "serial" or len(jobs) <= 1:
             outcomes = [_run_session(job, self.cache) for job in jobs]
@@ -654,5 +654,5 @@ class FleetEngine:
             sessions=session_results,
             rearbitrations=self.rearbitrations,
             probes_per_node=self.probes_per_node,
-            wall_time=time.perf_counter() - started,
+            wall_time=time.perf_counter() - started,  # repro: noqa REP002 -- wall_time telemetry in fleet result; not replayed
         )

@@ -17,6 +17,7 @@ schedule" the paper contrasts with Massoulié's randomized layer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.scheme import BroadcastScheme
@@ -35,7 +36,7 @@ class FluidSchedule:
     @property
     def rate(self) -> float:
         """Steady-state reception rate (== the scheme throughput)."""
-        return sum(t.weight for t in self.trees)
+        return math.fsum(t.weight for t in self.trees)
 
     def depths(self, v: int) -> list[int]:
         return [t.depth(v) for t in self.trees]

@@ -564,7 +564,7 @@ class TestSessionsCLI:
             def _session_weights(self, kinds, bandwidths, claims):
                 return {claim.name: 1.0 for claim in claims}
 
-        BROKERS[PluginBroker.name] = PluginBroker
+        BROKERS[PluginBroker.name] = PluginBroker  # repro: noqa REP005 -- ephemeral test-only plugin, removed in finally; no pool dispatch
         try:
             help_text = build_parser().format_help()
             assert main(["sessions", "--list"]) == 0
